@@ -1,0 +1,84 @@
+// Command magnet-server serves Magnet's faceted navigation interface over
+// HTTP — the browser-window experience of the paper's Figure 1, on any of
+// the built-in datasets or an N-Triples file.
+//
+// Usage:
+//
+//	magnet-server [-addr :8080] [-dataset recipes|states|factbook|inbox|courses]
+//	              [-file data.nt] [-recipes N] [-baseline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"magnet/internal/analysts"
+	"magnet/internal/core"
+	"magnet/internal/datasets/artstor"
+	"magnet/internal/datasets/courses"
+	"magnet/internal/datasets/factbook"
+	"magnet/internal/datasets/inbox"
+	"magnet/internal/datasets/recipes"
+	"magnet/internal/datasets/states"
+	"magnet/internal/rdf"
+	"magnet/internal/web"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataset := flag.String("dataset", "recipes", "built-in dataset: recipes, states, factbook, inbox, courses")
+	file := flag.String("file", "", "serve an N-Triples file instead of a built-in dataset")
+	nRecipes := flag.Int("recipes", 2000, "recipe corpus size")
+	useBaseline := flag.Bool("baseline", false, "use the Flamenco-like baseline advisor set")
+	flag.Parse()
+
+	g, allSubjects, err := load(*dataset, *file, *nRecipes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "magnet-server: %v\n", err)
+		os.Exit(1)
+	}
+	opts := core.Options{IndexAllSubjects: allSubjects, SoftEmptyResults: true}
+	if *useBaseline {
+		opts.Analysts = analysts.BaselineSet
+	}
+	m := core.Open(g, opts)
+	fmt.Printf("magnet-server: %d items indexed; listening on %s\n", len(m.Items()), *addr)
+	if err := http.ListenAndServe(*addr, web.NewServer(m)); err != nil {
+		fmt.Fprintf(os.Stderr, "magnet-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func load(dataset, file string, nRecipes int) (*rdf.Graph, bool, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		g, err := rdf.ReadNTriples(f)
+		return g, false, err
+	}
+	switch dataset {
+	case "recipes":
+		return recipes.Build(recipes.Config{Recipes: nRecipes}), false, nil
+	case "states":
+		g := states.Build()
+		states.Annotate(g)
+		return g, true, nil
+	case "factbook":
+		g := factbook.Build(factbook.Config{})
+		factbook.Annotate(g)
+		return g, false, nil
+	case "inbox":
+		return inbox.Build(inbox.Config{}), false, nil
+	case "artstor":
+		return artstor.Build(artstor.Config{HideAccession: true}), false, nil
+	case "courses":
+		return courses.Build(courses.Config{HideCatalogKey: true}), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}

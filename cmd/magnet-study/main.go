@@ -1,0 +1,54 @@
+// Command magnet-study reproduces the paper's user study (§6.3) with
+// simulated users: both directed tasks — the walnut-recipe task and the
+// Mexican-menu task — run against the complete Magnet system and the
+// Flamenco-like baseline, printing means next to the paper's reported
+// values (2.70 vs 1.71 and 5.80 vs 4.87).
+//
+// Usage:
+//
+//	magnet-study [-users N] [-recipes N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"magnet/internal/simuser"
+)
+
+// paperMeans are the §6.3.1 reported values.
+var paperMeans = map[string]float64{
+	"task1/complete": 2.70,
+	"task1/baseline": 1.71,
+	"task2/complete": 5.80,
+	"task2/baseline": 4.87,
+}
+
+func main() {
+	users := flag.Int("users", 18, "number of simulated participants (paper: 18)")
+	nRecipes := flag.Int("recipes", 6444, "recipe corpus size (paper: 6444)")
+	seed := flag.Int64("seed", 1, "study seed")
+	flag.Parse()
+
+	fmt.Printf("E11/E12 — simulated user study (%d users, %d recipes)\n\n", *users, *nRecipes)
+	fmt.Println("task 1: find the aunt's walnut recipe and 2-3 related nut-free recipes")
+	fmt.Println("task 2: plan a Mexican themed menu (soups/appetizers, salads, desserts)")
+	fmt.Println()
+
+	res := simuser.Run(simuser.Config{Users: *users, Recipes: *nRecipes, Seed: *seed})
+
+	fmt.Printf("%-8s %-10s %10s %10s %8s\n", "task", "system", "measured", "paper", "Δ")
+	for _, row := range res.Rows() {
+		key := row.Task + "/" + string(row.System)
+		paper := paperMeans[key]
+		fmt.Printf("%-8s %-10s %10.2f %10.2f %+8.2f\n",
+			row.Task, row.System, row.Mean, paper, row.Mean-paper)
+	}
+
+	f1 := res.Task1Complete.Mean / res.Task1Baseline.Mean
+	f2 := res.Task2Complete.Mean / res.Task2Baseline.Mean
+	fmt.Printf("\nfactors: task1 complete/baseline = %.2f (paper 1.58), task2 = %.2f (paper 1.19)\n", f1, f2)
+	fmt.Printf("CHECK study t1c=%.2f t1b=%.2f t2c=%.2f t2b=%.2f f1=%.2f f2=%.2f\n",
+		res.Task1Complete.Mean, res.Task1Baseline.Mean,
+		res.Task2Complete.Mean, res.Task2Baseline.Mean, f1, f2)
+}

@@ -1,0 +1,138 @@
+package analysts
+
+import (
+	"fmt"
+
+	"magnet/internal/blackboard"
+	"magnet/internal/query"
+	"magnet/internal/rdf"
+	"magnet/internal/vsm"
+)
+
+// Refinement is the Refine Collections analyst (§4.1): it applies the
+// paper's §5.3 query-refinement technique — "picking terms in the average
+// document having the largest normalized term weights" — to suggest
+// property/value constraints and text-term constraints for the current
+// collection. Suggestions are grouped by property so the interface can
+// display "the first few values to give the user appropriate context".
+type Refinement struct {
+	env *Env
+	// k bounds how many centroid coordinates are considered.
+	k int
+}
+
+// NewRefinement returns the analyst considering the top k centroid terms.
+func NewRefinement(env *Env, k int) *Refinement {
+	return &Refinement{env: env, k: k}
+}
+
+// Name implements blackboard.Analyst.
+func (*Refinement) Name() string { return "query-refinement" }
+
+// Triggered implements blackboard.Analyst: fires on non-trivial collections.
+func (*Refinement) Triggered(v blackboard.View) bool {
+	return v.IsCollection() && len(v.Collection) >= 2
+}
+
+// Suggest implements blackboard.Analyst.
+func (r *Refinement) Suggest(v blackboard.View, b *blackboard.Board) {
+	coords := r.env.Model.RefinementCoords(v.Collection, r.k, nil)
+	if len(coords) == 0 {
+		return
+	}
+	// Counts for detail display: how many collection members match each
+	// direct attribute/value pair.
+	counts := r.memberCounts(v.Collection)
+	members := make(map[rdf.IRI]bool, len(v.Collection))
+	for _, it := range v.Collection {
+		members[it] = true
+	}
+	n := len(v.Collection)
+	maxW := coords[0].Weight
+
+	for _, wc := range coords {
+		c := wc.Coord
+		weight := wc.Weight / maxW
+		switch c.Kind {
+		case vsm.CoordObject:
+			r.suggestObject(b, c, weight, counts, members, n)
+		case vsm.CoordWord:
+			r.suggestWord(b, c, weight)
+		}
+	}
+}
+
+func (r *Refinement) suggestObject(b *blackboard.Board, c vsm.Coord, weight float64, counts map[string]int, members map[rdf.IRI]bool, n int) {
+	var pred query.Predicate
+	cnt := 0
+	if len(c.Path) == 1 {
+		pred = query.Property{Prop: c.Path[0], Value: c.Value}
+		cnt = counts[countKey(c.Path[0], c.Value)]
+	} else {
+		pp := query.PathProperty{Path: c.Path, Value: c.Value}
+		pred = pp
+		// Composed coordinates need a real evaluation to learn how many
+		// collection members they match.
+		for it := range pp.Eval(r.env.Engine) {
+			if members[it] {
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 || cnt == n {
+		// Matches nothing or everything: no refinement value.
+		return
+	}
+	detail := fmt.Sprintf("%d of %d", cnt, n)
+	b.Post(blackboard.Suggestion{
+		Advisor: blackboard.AdvisorRefine,
+		Group:   vsm.PathLabel(c.Path, r.env.Label),
+		Title:   r.env.Graph.TermLabel(c.Value),
+		Detail:  detail,
+		Weight:  weight,
+		Action:  blackboard.Refine{Add: pred},
+		Key:     "refine:" + pred.Key(),
+		Analyst: r.Name(),
+	})
+}
+
+func (r *Refinement) suggestWord(b *blackboard.Board, c vsm.Coord, weight float64) {
+	// Composed word coordinates have no direct text-index field; only
+	// direct text attributes are suggested as term constraints.
+	if len(c.Path) != 1 {
+		return
+	}
+	field := string(c.Path[0])
+	display := c.Word
+	if r.env.Text != nil {
+		display = r.env.Text.Surface(c.Word)
+	}
+	pred := query.TermMatch{Term: c.Word, Field: field, Display: display}
+	b.Post(blackboard.Suggestion{
+		Advisor: blackboard.AdvisorRefine,
+		Group:   r.env.Label(c.Path[0]) + " words",
+		Title:   display,
+		Weight:  weight,
+		Action:  blackboard.Refine{Add: pred},
+		Key:     "refine:" + pred.Key(),
+		Analyst: r.Name(),
+	})
+}
+
+func countKey(p rdf.IRI, v rdf.Term) string { return string(p) + "\x00" + v.Key() }
+
+func (r *Refinement) memberCounts(items []rdf.IRI) map[string]int {
+	counts := make(map[string]int)
+	g := r.env.Graph
+	for _, it := range items {
+		for _, p := range g.PredicatesOf(it) {
+			if r.env.Schema.Hidden(p) {
+				continue
+			}
+			for _, v := range g.Objects(it, p) {
+				counts[countKey(p, v)]++
+			}
+		}
+	}
+	return counts
+}

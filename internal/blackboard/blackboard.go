@@ -1,0 +1,338 @@
+// Package blackboard implements Magnet's blackboard model (paper §4.3,
+// after Nii's blackboard architecture): analysts are "triggered by the
+// framework based on the currently viewed [view] and suggest a particular
+// kind of navigation refinement by writing it on the blackboard"; the
+// framework then "collects the recommendations from the blackboard and
+// presents them with the associated navigation advisors to the user".
+//
+// Analysts may also be "triggered by results from other analysts": after
+// the primary round, analysts implementing Reactor run over the posted
+// suggestions and may post more.
+package blackboard
+
+import (
+	"sort"
+	"sync"
+
+	"magnet/internal/facets"
+	"magnet/internal/query"
+	"magnet/internal/rdf"
+)
+
+// Advisor names: each suggestion is published under the advisor that
+// presents its kind of navigation step (§4.1).
+const (
+	// AdvisorRelated is the "Related Items" advisor (sharing a property,
+	// similar by content, similar by visit).
+	AdvisorRelated = "Related Items"
+	// AdvisorRefine is the "Refine Collections" advisor.
+	AdvisorRefine = "Refine Collections"
+	// AdvisorModify is the "Modify" advisor (contrary constraints, related
+	// collections).
+	AdvisorModify = "Modify"
+	// AdvisorHistory is the "History" advisor (previous, refinement trail).
+	AdvisorHistory = "History"
+	// AdvisorQuery is the within-collection query affordance shown under
+	// 'Query' in the navigation pane.
+	AdvisorQuery = "Query"
+)
+
+// View is what the user is currently looking at: a single item, a
+// collection produced by a query, or a fixed (materialized) collection such
+// as a similar-items result. Analysts trigger on its shape.
+type View struct {
+	// Item is set for single-item views.
+	Item rdf.IRI
+	// Collection is set for collection views (may be empty but non-nil).
+	Collection []rdf.IRI
+	// Query is the query whose evaluation produced Collection (empty for
+	// fixed collections).
+	Query query.Query
+	// Fixed marks a materialized collection not backed by a query.
+	Fixed bool
+	// Name titles fixed collections and identifies them in history.
+	Name string
+}
+
+// ItemView returns a view of a single item.
+func ItemView(item rdf.IRI) View { return View{Item: item} }
+
+// CollectionView returns a view of a query's result collection.
+func CollectionView(q query.Query, items []rdf.IRI) View {
+	if items == nil {
+		items = []rdf.IRI{}
+	}
+	return View{Collection: items, Query: q}
+}
+
+// FixedView returns a view of a materialized collection (e.g. the output of
+// a similarity analyst's "arbitrary action").
+func FixedView(name string, items []rdf.IRI) View {
+	if items == nil {
+		items = []rdf.IRI{}
+	}
+	return View{Collection: items, Fixed: true, Name: name}
+}
+
+// IsItem reports whether the view shows a single item.
+func (v View) IsItem() bool { return v.Item != "" }
+
+// IsCollection reports whether the view shows a collection.
+func (v View) IsCollection() bool { return v.Collection != nil }
+
+// Key returns a stable identity for the view, used by the history tracker.
+func (v View) Key() string {
+	if v.IsItem() {
+		return "item:" + string(v.Item)
+	}
+	if v.Fixed {
+		return "fixed:" + v.Name
+	}
+	return v.Query.Key()
+}
+
+// Action is what happens when the user selects a suggestion. The concrete
+// types below cover the paper's step kinds; the navigation engine switches
+// on them.
+type Action interface{ isAction() }
+
+// Refine adds a constraint to the current query (filter; Exclude filters
+// the complement; Expand broadens with OR, §4.1 Refine Collections).
+type Refine struct {
+	Add query.Predicate
+	// Mode selects filter/exclude/expand.
+	Mode RefineMode
+}
+
+// RefineMode selects how a refinement predicate combines with the query.
+type RefineMode int
+
+const (
+	// Filter keeps only matching items (AND).
+	Filter RefineMode = iota
+	// Exclude removes matching items (AND NOT).
+	Exclude
+	// Expand broadens the collection to include matching items (OR with
+	// the whole current query).
+	Expand
+)
+
+func (Refine) isAction() {}
+
+// GoToCollection navigates to a fixed collection of items (e.g. similar
+// items found by a learning algorithm; "at the most general some analysts
+// specify arbitrary action", here materialized results).
+type GoToCollection struct {
+	Title string
+	Items []rdf.IRI
+}
+
+func (GoToCollection) isAction() {}
+
+// GoToItem navigates to a single item.
+type GoToItem struct {
+	Item rdf.IRI
+}
+
+func (GoToItem) isAction() {}
+
+// ReplaceQuery replaces the whole query (contrary constraints, history).
+type ReplaceQuery struct {
+	Query query.Query
+}
+
+func (ReplaceQuery) isAction() {}
+
+// ShowRange presents a numeric range widget with a query-preview histogram
+// (Figure 5); selection then issues a query.Range refinement.
+type ShowRange struct {
+	Prop      rdf.IRI
+	Histogram facets.Histogram
+}
+
+func (ShowRange) isAction() {}
+
+// ShowSearch presents a keyword-search box scoped to the current collection
+// (the 'Query' affordance in the navigation pane, §4.3); submitting issues a
+// query.Keyword refinement.
+type ShowSearch struct{}
+
+func (ShowSearch) isAction() {}
+
+// ShowOverview presents the large-collection overview interface (Figure 2),
+// suggested when the navigation pane alone is inadequate (§3.1).
+type ShowOverview struct{}
+
+func (ShowOverview) isAction() {}
+
+// Suggestion is one navigation recommendation posted on the blackboard.
+type Suggestion struct {
+	// Advisor is the presenting advisor (one of the Advisor* constants or
+	// an extension).
+	Advisor string
+	// Group clusters suggestions within an advisor ("the interface groups
+	// suggestions by properties", §3.2) — typically a property label.
+	Group string
+	// Title is the display text.
+	Title string
+	// Detail optionally annotates the title (e.g. an occurrence count).
+	Detail string
+	// Weight is the analyst-provided information-retrieval weight used for
+	// selection (§4.1: "advisors use the analyst-provided information
+	// retrieval weights ... to select the navigation suggestions").
+	Weight float64
+	// Action is performed when the user picks the suggestion.
+	Action Action
+	// Key de-duplicates suggestions across analysts.
+	Key string
+	// Analyst records the posting analyst (for debugging/tests).
+	Analyst string
+}
+
+// Board is the shared blackboard. It is safe for concurrent posting.
+type Board struct {
+	mu          sync.Mutex
+	suggestions []Suggestion
+	seen        map[string]bool
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board {
+	return &Board{seen: make(map[string]bool)}
+}
+
+// Post writes a suggestion on the board. Suggestions with a duplicate
+// non-empty Key are dropped (first poster wins).
+func (b *Board) Post(s Suggestion) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s.Key != "" {
+		if b.seen[s.Key] {
+			return
+		}
+		b.seen[s.Key] = true
+	}
+	b.suggestions = append(b.suggestions, s)
+}
+
+// Suggestions returns a copy of everything posted, in posting order.
+func (b *Board) Suggestions() []Suggestion {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Suggestion, len(b.suggestions))
+	copy(out, b.suggestions)
+	return out
+}
+
+// ByAdvisor returns posted suggestions grouped by advisor name.
+func (b *Board) ByAdvisor() map[string][]Suggestion {
+	out := make(map[string][]Suggestion)
+	for _, s := range b.Suggestions() {
+		out[s.Advisor] = append(out[s.Advisor], s)
+	}
+	return out
+}
+
+// Analyst is an algorithmic unit posting suggestions for a view (§4.3).
+type Analyst interface {
+	// Name identifies the analyst.
+	Name() string
+	// Triggered reports whether the analyst fires for the view (the
+	// "triggered when a user navigates to items of a given type"
+	// mechanism).
+	Triggered(v View) bool
+	// Suggest posts the analyst's recommendations.
+	Suggest(v View, b *Board)
+}
+
+// Reactor is an analyst additionally triggered "by results from other
+// analysts": after the primary round it receives everything posted so far
+// and may post more.
+type Reactor interface {
+	Analyst
+	React(v View, posted []Suggestion, b *Board)
+}
+
+// Registry holds the configured analysts and runs them over views.
+type Registry struct {
+	mu       sync.RWMutex
+	analysts []Analyst
+}
+
+// NewRegistry returns a registry with the given analysts.
+func NewRegistry(analysts ...Analyst) *Registry {
+	r := &Registry{}
+	r.Register(analysts...)
+	return r
+}
+
+// Register appends analysts (an "easily extensible manner to allow schema
+// experts to support new search activities", §4.1).
+func (r *Registry) Register(analysts ...Analyst) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.analysts = append(r.analysts, analysts...)
+}
+
+// Names returns the registered analyst names, in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.analysts))
+	for i, a := range r.analysts {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Run triggers all matching analysts over the view, then gives reactors one
+// round over the posted results, and returns the filled board.
+func (r *Registry) Run(v View) *Board {
+	r.mu.RLock()
+	analysts := make([]Analyst, len(r.analysts))
+	copy(analysts, r.analysts)
+	r.mu.RUnlock()
+
+	b := NewBoard()
+	var triggered []Analyst
+	for _, a := range analysts {
+		if a.Triggered(v) {
+			triggered = append(triggered, a)
+			a.Suggest(v, b)
+		}
+	}
+	posted := b.Suggestions()
+	for _, a := range triggered {
+		if re, ok := a.(Reactor); ok {
+			re.React(v, posted, b)
+		}
+	}
+	return b
+}
+
+// SelectTop returns up to n suggestions with the highest weights from the
+// slice, re-sorted alphabetically by title for presentation (§4.1: advisors
+// select by weight, then suggestions are "presented in the interface
+// typically sorted in an alphabetical order"). The returned omitted count
+// feeds the interface's '...' affordance.
+func SelectTop(ss []Suggestion, n int) (selected []Suggestion, omitted int) {
+	if n <= 0 || len(ss) == 0 {
+		return nil, len(ss)
+	}
+	byWeight := make([]Suggestion, len(ss))
+	copy(byWeight, ss)
+	sort.SliceStable(byWeight, func(i, j int) bool {
+		if byWeight[i].Weight != byWeight[j].Weight {
+			return byWeight[i].Weight > byWeight[j].Weight
+		}
+		return byWeight[i].Title < byWeight[j].Title
+	})
+	if len(byWeight) > n {
+		omitted = len(byWeight) - n
+		byWeight = byWeight[:n]
+	}
+	sort.SliceStable(byWeight, func(i, j int) bool {
+		return byWeight[i].Title < byWeight[j].Title
+	})
+	return byWeight, omitted
+}

@@ -1,0 +1,226 @@
+// Package core wires Magnet together: it owns the RDF graph, the schema
+// annotations, the external text index, the semistructured vector space
+// model, the query engine, and the analyst/advisor machinery, and exposes
+// the session abstraction applications drive. This is the public face of
+// the reproduction; examples and the CLI build exclusively on it.
+package core
+
+import (
+	"sort"
+
+	"magnet/internal/advisors"
+	"magnet/internal/analysts"
+	"magnet/internal/blackboard"
+	"magnet/internal/index"
+	"magnet/internal/query"
+	"magnet/internal/rdf"
+	"magnet/internal/schema"
+	"magnet/internal/vsm"
+)
+
+// Options configures a Magnet instance.
+type Options struct {
+	// VSM tunes the vector space model (ablation switches included).
+	VSM vsm.Options
+	// Analysts builds the analyst set for new sessions;
+	// analysts.DefaultSet when nil. The user study's baseline system passes
+	// analysts.BaselineSet here.
+	Analysts func(*analysts.Env) []blackboard.Analyst
+	// AdvisorConfigs sizes the navigation pane;
+	// advisors.DefaultConfigs() when nil.
+	AdvisorConfigs []advisors.Config
+	// IndexAllSubjects indexes every subject in the graph instead of only
+	// those carrying an rdf:type (useful for schemaless imports like the
+	// 50-states CSV of §6.1).
+	IndexAllSubjects bool
+	// SoftEmptyResults enables the fuzzy fallback for refinements that
+	// would produce the empty result set (the paper's §6.3.1 suggestion:
+	// "modify the queries to perform more fuzzily in the case when zero
+	// results would have been returned otherwise").
+	SoftEmptyResults bool
+}
+
+// Magnet is an instance of the navigation system over one repository.
+type Magnet struct {
+	g     *rdf.Graph
+	sch   *schema.Store
+	text  *index.TextIndex
+	model *vsm.Model
+	eng   *query.Engine
+	opts  Options
+	items []rdf.IRI
+}
+
+// Open builds a Magnet over the graph: it chooses the item universe,
+// populates the text index from the items' literal attributes, and indexes
+// every item into the vector space model (§5.2's "indexing the data in
+// advance").
+func Open(g *rdf.Graph, opts Options) *Magnet {
+	m := &Magnet{
+		g:    g,
+		sch:  schema.NewStore(g),
+		opts: opts,
+	}
+	m.Reindex()
+	m.eng = query.NewEngine(g, m.sch, m.text, func() []rdf.IRI { return m.items })
+	return m
+}
+
+// Reindex recomputes the item universe, the text index and all vectors;
+// call after bulk-mutating the graph. Reindex replaces the text index and
+// query engine, so sessions created *before* the call keep consulting the
+// old ones inside their analysts — create sessions after reindexing. For
+// incremental updates that keep live sessions current, use IndexItem and
+// RemoveItem instead.
+func (m *Magnet) Reindex() {
+	m.items = m.chooseItems()
+	m.text = index.NewTextIndex(m.opts.VSM.Analyzer)
+	for _, it := range m.items {
+		for _, p := range m.g.PredicatesOf(it) {
+			if m.sch.Hidden(p) {
+				continue
+			}
+			for _, o := range m.g.Objects(it, p) {
+				lit, ok := o.(rdf.Literal)
+				if !ok || (lit.Datatype != "" && lit.Datatype != rdf.XSDString) {
+					continue
+				}
+				m.text.Index(string(it), string(p), lit.Lexical)
+			}
+		}
+	}
+	m.model = vsm.New(m.g, m.sch, m.opts.VSM)
+	m.model.IndexAll(m.items)
+	if m.eng != nil {
+		// The engine closes over m.items; only the text index pointer needs
+		// refreshing.
+		m.eng = query.NewEngine(m.g, m.sch, m.text, func() []rdf.IRI { return m.items })
+	}
+}
+
+// IndexItem incrementally indexes (or reindexes) a single item without the
+// full Reindex sweep — the paper's "indexing the data in advance (as it
+// arrives)" (§5.2). Text fields are rebuilt from the item's current literal
+// attributes and the vector is recomputed against existing corpus
+// statistics (numeric values beyond the previously observed ranges clamp
+// until the next full Reindex).
+func (m *Magnet) IndexItem(item rdf.IRI) {
+	m.text.Remove(string(item))
+	for _, p := range m.g.PredicatesOf(item) {
+		if m.sch.Hidden(p) {
+			continue
+		}
+		for _, o := range m.g.Objects(item, p) {
+			lit, ok := o.(rdf.Literal)
+			if !ok || (lit.Datatype != "" && lit.Datatype != rdf.XSDString) {
+				continue
+			}
+			m.text.Index(string(item), string(p), lit.Lexical)
+		}
+	}
+	m.model.IndexItem(item)
+	i := sort.Search(len(m.items), func(i int) bool { return m.items[i] >= item })
+	if i == len(m.items) || m.items[i] != item {
+		m.items = append(m.items, "")
+		copy(m.items[i+1:], m.items[i:])
+		m.items[i] = item
+	}
+}
+
+// RemoveItem removes an item from every index (the graph's triples are the
+// caller's to remove).
+func (m *Magnet) RemoveItem(item rdf.IRI) {
+	m.text.Remove(string(item))
+	m.model.RemoveItem(item)
+	i := sort.Search(len(m.items), func(i int) bool { return m.items[i] >= item })
+	if i < len(m.items) && m.items[i] == item {
+		m.items = append(m.items[:i], m.items[i+1:]...)
+	}
+}
+
+// chooseItems selects the indexed information objects: subjects with an
+// rdf:type, or every subject when none carry types (or when configured).
+func (m *Magnet) chooseItems() []rdf.IRI {
+	if !m.opts.IndexAllSubjects {
+		typed := make(map[rdf.IRI]struct{})
+		for _, t := range m.g.ObjectsOf(rdf.Type) {
+			cls, ok := t.(rdf.IRI)
+			if !ok {
+				continue
+			}
+			for _, s := range m.g.SubjectsOfType(cls) {
+				typed[s] = struct{}{}
+			}
+		}
+		if len(typed) > 0 {
+			out := make([]rdf.IRI, 0, len(typed))
+			for s := range typed {
+				out = append(out, s)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+	}
+	return m.g.AllSubjects()
+}
+
+// Graph returns the underlying graph.
+func (m *Magnet) Graph() *rdf.Graph { return m.g }
+
+// Schema returns the annotation store.
+func (m *Magnet) Schema() *schema.Store { return m.sch }
+
+// Model returns the vector space model.
+func (m *Magnet) Model() *vsm.Model { return m.model }
+
+// Engine returns the query engine.
+func (m *Magnet) Engine() *query.Engine { return m.eng }
+
+// TextIndex returns the external text index.
+func (m *Magnet) TextIndex() *index.TextIndex { return m.text }
+
+// Items returns the indexed item universe, sorted.
+func (m *Magnet) Items() []rdf.IRI {
+	out := make([]rdf.IRI, len(m.items))
+	copy(out, m.items)
+	return out
+}
+
+// Label returns the display label for a resource.
+func (m *Magnet) Label(r rdf.IRI) string { return m.g.Label(r) }
+
+// Labeler returns the query.Labeler over the graph.
+func (m *Magnet) Labeler() query.Labeler {
+	return func(r rdf.IRI) string { return m.g.Label(r) }
+}
+
+// ExplainSimilarityText renders the top-k shared coordinates behind the
+// similarity of two items as human-readable lines ("cuisine = Greek",
+// "title word apple", "sent (numeric closeness)"), making the fuzzy
+// "similar by content" advisor inspectable.
+func (m *Magnet) ExplainSimilarityText(a, b rdf.IRI, k int) []string {
+	expl := m.model.ExplainSimilarity(a, b, k)
+	out := make([]string, 0, len(expl))
+	for _, wc := range expl {
+		c := wc.Coord
+		desc := vsm.PathLabel(c.Path, m.Label)
+		switch c.Kind {
+		case vsm.CoordObject:
+			if iri, ok := c.Value.(rdf.IRI); ok {
+				desc += " = " + m.Label(iri)
+			} else {
+				desc += " = " + m.g.TermLabel(c.Value)
+			}
+		case vsm.CoordWord:
+			word := c.Word
+			if m.text != nil {
+				word = m.text.Surface(c.Word)
+			}
+			desc += " word " + word
+		case vsm.CoordNumeric:
+			desc += " (numeric closeness)"
+		}
+		out = append(out, desc)
+	}
+	return out
+}

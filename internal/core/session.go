@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"magnet/internal/advisors"
+	"magnet/internal/analysts"
+	"magnet/internal/blackboard"
+	"magnet/internal/facets"
+	"magnet/internal/history"
+	"magnet/internal/query"
+	"magnet/internal/rdf"
+)
+
+// Session is one user's navigation session: the current view, the history
+// tracker, and the analyst registry producing the navigation pane. Sessions
+// are not safe for concurrent use (each models a single user).
+type Session struct {
+	m        *Magnet
+	registry *blackboard.Registry
+	tracker  *history.Tracker
+	cfgs     []advisors.Config
+	views    map[string]blackboard.View
+	current  blackboard.View
+	compound *compoundState
+}
+
+// NewSession starts a session at the all-items collection.
+func (m *Magnet) NewSession() *Session {
+	s := &Session{
+		m:       m,
+		tracker: history.NewTracker(),
+		views:   make(map[string]blackboard.View),
+		cfgs:    m.opts.AdvisorConfigs,
+	}
+	if s.cfgs == nil {
+		s.cfgs = advisors.DefaultConfigs()
+	}
+	env := &analysts.Env{
+		Graph:      m.g,
+		Schema:     m.sch,
+		Model:      m.model,
+		Engine:     m.eng,
+		Text:       m.text,
+		Tracker:    s.tracker,
+		LookupView: s.lookupView,
+	}
+	build := m.opts.Analysts
+	if build == nil {
+		build = analysts.DefaultSet
+	}
+	s.registry = blackboard.NewRegistry(build(env)...)
+	s.goToQuery(query.NewQuery())
+	return s
+}
+
+func (s *Session) lookupView(key string) (blackboard.View, bool) {
+	v, ok := s.views[key]
+	return v, ok
+}
+
+// Current returns the current view.
+func (s *Session) Current() blackboard.View { return s.current }
+
+// Query returns the current query (empty for item and fixed views).
+func (s *Session) Query() query.Query { return s.current.Query }
+
+// Items returns the items of the current view: the collection, or the
+// single item as a one-element slice.
+func (s *Session) Items() []rdf.IRI {
+	if s.current.IsItem() {
+		return []rdf.IRI{s.current.Item}
+	}
+	out := make([]rdf.IRI, len(s.current.Collection))
+	copy(out, s.current.Collection)
+	return out
+}
+
+// History returns the session's tracker (read access for advisors/tests).
+func (s *Session) History() *history.Tracker { return s.tracker }
+
+func (s *Session) goTo(v blackboard.View) {
+	s.current = v
+	key := v.Key()
+	s.views[key] = v
+	s.tracker.RecordVisit(key)
+}
+
+func (s *Session) goToQuery(q query.Query) {
+	items := s.m.eng.Evaluate(q)
+	s.tracker.PushQuery(q)
+	s.goTo(blackboard.CollectionView(q, items))
+}
+
+// Search starts a fresh keyword query (the toolbar of §3.1: "a search may
+// often be initiated by specifying keywords, as this requires the least
+// cognitive effort").
+func (s *Session) Search(keywords string) {
+	s.goToQuery(query.NewQuery(query.Keyword{Text: keywords}))
+}
+
+// SearchWithin refines the current collection with a keyword constraint
+// (the navigation pane's 'Query' affordance).
+func (s *Session) SearchWithin(keywords string) {
+	s.goToQuery(s.current.Query.With(query.Keyword{Text: keywords}))
+}
+
+// OpenItem navigates to a single item's view.
+func (s *Session) OpenItem(item rdf.IRI) {
+	s.goTo(blackboard.ItemView(item))
+}
+
+// GoHome navigates to the unconstrained all-items collection.
+func (s *Session) GoHome() {
+	s.goToQuery(query.NewQuery())
+}
+
+// Refine adds a constraint to the current query (Filter), removes matching
+// items (Exclude), or broadens the collection (Expand) — §4.1's Refine
+// Collections semantics. On a fixed (materialized) collection the predicate
+// filters the members directly, since there is no query to extend.
+func (s *Session) Refine(p query.Predicate, mode blackboard.RefineMode) {
+	prev := s.Items()
+	if s.current.Fixed {
+		s.refineFixed(p, mode)
+	} else {
+		q := s.current.Query
+		switch mode {
+		case blackboard.Filter:
+			q = q.With(p)
+		case blackboard.Exclude:
+			q = q.With(query.Not{P: p})
+		case blackboard.Expand:
+			if q.IsEmpty() {
+				q = query.NewQuery(p)
+			} else {
+				q = query.NewQuery(query.Or{Ps: []query.Predicate{query.And{Ps: q.Terms}, p}})
+			}
+		}
+		s.goToQuery(q)
+	}
+	if s.m.opts.SoftEmptyResults && len(s.current.Collection) == 0 && mode != blackboard.Expand {
+		s.softRefine(p, mode, prev)
+	}
+}
+
+func (s *Session) refineFixed(p query.Predicate, mode blackboard.RefineMode) {
+	matches := p.Eval(s.m.eng)
+	var items []rdf.IRI
+	for _, it := range s.current.Collection {
+		in := matches.Has(it)
+		if (mode == blackboard.Filter && in) || (mode == blackboard.Exclude && !in) {
+			items = append(items, it)
+		}
+	}
+	if mode == blackboard.Expand {
+		items = append([]rdf.IRI{}, s.current.Collection...)
+		seen := query.NewSet(items...)
+		for _, it := range matches.Items() {
+			if !seen.Has(it) {
+				items = append(items, it)
+			}
+		}
+	}
+	name := s.current.Name + " · " + p.Describe(s.m.Labeler())
+	s.goTo(blackboard.FixedView(name, items))
+}
+
+// RemoveConstraint drops the i-th query constraint (the '✕' of §3.2).
+func (s *Session) RemoveConstraint(i int) {
+	s.goToQuery(s.current.Query.Without(i))
+}
+
+// NegateConstraint inverts the i-th query constraint (the context-menu
+// negation of §3.2).
+func (s *Session) NegateConstraint(i int) {
+	s.goToQuery(s.current.Query.Negate(i))
+}
+
+// ApplyRange refines by a numeric range (the Figure 5 widget's selection);
+// nil bounds leave that side open.
+func (s *Session) ApplyRange(prop rdf.IRI, min, max *float64) {
+	s.goToQuery(s.current.Query.With(query.Range{Prop: prop, Min: min, Max: max}))
+}
+
+// Back undoes the last refinement (History advisor's Refinement trail). It
+// reports whether there was anywhere to go back to.
+func (s *Session) Back() bool {
+	q, ok := s.tracker.Back()
+	if !ok {
+		return false
+	}
+	items := s.m.eng.Evaluate(q)
+	s.goTo(blackboard.CollectionView(q, items))
+	return true
+}
+
+// ErrNoAction reports an Apply call with a nil or unsupported action.
+var ErrNoAction = errors.New("core: suggestion carries no directly applicable action")
+
+// Apply executes a suggestion's action: the dispatch behind clicking a
+// navigation suggestion. ShowRange and ShowSearch are interactive — the
+// caller collects parameters and calls ApplyRange or SearchWithin instead.
+func (s *Session) Apply(a blackboard.Action) error {
+	switch act := a.(type) {
+	case blackboard.Refine:
+		s.Refine(act.Add, act.Mode)
+	case blackboard.GoToCollection:
+		s.goTo(blackboard.FixedView(act.Title, act.Items))
+	case blackboard.GoToItem:
+		s.OpenItem(act.Item)
+	case blackboard.ReplaceQuery:
+		s.goToQuery(act.Query)
+	case blackboard.ShowRange, blackboard.ShowSearch, blackboard.ShowOverview:
+		return fmt.Errorf("%w: interactive action %T needs parameters", ErrNoAction, a)
+	case nil:
+		return ErrNoAction
+	default:
+		return fmt.Errorf("%w: unknown action %T", ErrNoAction, a)
+	}
+	return nil
+}
+
+// ApplySuggestion is a convenience wrapper for Apply on a suggestion.
+func (s *Session) ApplySuggestion(sg blackboard.Suggestion) error {
+	return s.Apply(sg.Action)
+}
+
+// Board runs the analysts over the current view and returns the raw
+// blackboard (tests and power tools).
+func (s *Session) Board() *blackboard.Board {
+	return s.registry.Run(s.current)
+}
+
+// Pane runs the analysts and assembles the navigation pane for the current
+// view (the left side of Figure 1).
+func (s *Session) Pane() advisors.Pane {
+	return advisors.Build(s.current.Query, s.m.Labeler(), s.Board(), s.cfgs)
+}
+
+// Overview computes the large-collection facet overview (Figure 2): value
+// histograms per property, ordered by usefulness, values by count.
+func (s *Session) Overview(maxValues int) []facets.Facet {
+	items := s.Items()
+	return facets.Summarize(s.m.g, s.m.sch, items, facets.Options{
+		MaxValues: maxValues,
+		ByCount:   true,
+	})
+}

@@ -1,0 +1,274 @@
+// Package facets computes the faceted-metadata summaries behind Magnet's
+// interface: per-property value histograms over a collection (the
+// navigation pane of Figure 1 and the large-collection overview of
+// Figure 2) and numeric histograms for range widgets with query previews
+// (Figure 5's hatch marks).
+package facets
+
+import (
+	"math"
+	"sort"
+
+	"magnet/internal/rdf"
+	"magnet/internal/schema"
+)
+
+// Value is one attribute value with its occurrence count in the collection.
+type Value struct {
+	Term  rdf.Term
+	Label string
+	Count int
+}
+
+// Facet summarizes one property over a collection.
+type Facet struct {
+	Prop  rdf.IRI
+	Label string
+	// Labeled reports whether the property carries an explicit label;
+	// unlabeled properties display raw identifiers (Figure 7).
+	Labeled bool
+	// ValueType is the property's effective value type.
+	ValueType schema.ValueType
+	// Values are the facet's values; ordering per Options.
+	Values []Value
+	// Distinct is the total number of distinct values in the collection
+	// (Values may be truncated for display).
+	Distinct int
+	// Coverage is the number of collection items carrying the property.
+	Coverage int
+	// Preferred reports the magnet:facet annotation.
+	Preferred bool
+}
+
+// Score orders facets by usefulness for browsing: high coverage with
+// shared (non-unique) values beats sparse or all-distinct properties.
+// Preferred (annotated) facets sort first regardless.
+func (f Facet) Score() float64 {
+	if f.Coverage == 0 {
+		return 0
+	}
+	sharing := 1 - float64(f.Distinct)/float64(f.Coverage+1)
+	return float64(f.Coverage) * sharing
+}
+
+// Options controls summarization.
+type Options struct {
+	// MaxValues truncates each facet's displayed values (0 = no limit);
+	// Facet.Distinct still reports the full count (the interface's "..."
+	// affordance, §3.2).
+	MaxValues int
+	// MinCount drops values occurring fewer times (0 or 1 keeps all).
+	MinCount int
+	// ByCount orders values by descending count (the Figure 2 overview);
+	// default is alphabetical by label ("sorted in an alphabetical order to
+	// enable users to search for a particular suggestion", §4.1).
+	ByCount bool
+	// IncludeUnshared keeps facets where every value is distinct (normally
+	// useless for refinement and skipped).
+	IncludeUnshared bool
+}
+
+// Summarize computes facets for every navigation property occurring in the
+// collection. Facets are ordered: preferred (annotated) facets first, then
+// by descending Score, ties alphabetical.
+func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) []Facet {
+	type agg struct {
+		counts   map[string]int
+		terms    map[string]rdf.Term
+		coverage int
+	}
+	aggs := make(map[rdf.IRI]*agg)
+
+	for _, it := range items {
+		for _, p := range g.PredicatesOf(it) {
+			if sch.Hidden(p) {
+				continue
+			}
+			values := g.Objects(it, p)
+			if len(values) == 0 {
+				continue
+			}
+			a := aggs[p]
+			if a == nil {
+				a = &agg{counts: make(map[string]int), terms: make(map[string]rdf.Term)}
+				aggs[p] = a
+			}
+			a.coverage++
+			for _, v := range values {
+				k := v.Key()
+				a.counts[k]++
+				a.terms[k] = v
+			}
+		}
+	}
+
+	facets := make([]Facet, 0, len(aggs))
+	for p, a := range aggs {
+		f := Facet{
+			Prop:      p,
+			Label:     sch.Label(p),
+			Labeled:   sch.HasLabel(p),
+			ValueType: sch.ValueType(p),
+			Distinct:  len(a.counts),
+			Coverage:  a.coverage,
+			Preferred: sch.IsFacet(p),
+		}
+		if p == rdf.Type {
+			// System vocabulary always displays readably, even on datasets
+			// that otherwise show raw identifiers (Figure 7).
+			f.Label, f.Labeled = "type", true
+		}
+		shared := false
+		for _, c := range a.counts {
+			if c >= 2 {
+				shared = true
+				break
+			}
+		}
+		if !shared && !opts.IncludeUnshared && !f.Preferred {
+			continue
+		}
+		for k, c := range a.counts {
+			if opts.MinCount > 1 && c < opts.MinCount {
+				continue
+			}
+			term := a.terms[k]
+			f.Values = append(f.Values, Value{Term: term, Label: g.TermLabel(term), Count: c})
+		}
+		sortValues(f.Values, opts.ByCount)
+		if opts.MaxValues > 0 && len(f.Values) > opts.MaxValues {
+			f.Values = f.Values[:opts.MaxValues]
+		}
+		facets = append(facets, f)
+	}
+
+	sort.Slice(facets, func(i, j int) bool {
+		if facets[i].Preferred != facets[j].Preferred {
+			return facets[i].Preferred
+		}
+		si, sj := facets[i].Score(), facets[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		return facets[i].Label < facets[j].Label
+	})
+	return facets
+}
+
+func sortValues(vs []Value, byCount bool) {
+	sort.Slice(vs, func(i, j int) bool {
+		if byCount && vs[i].Count != vs[j].Count {
+			return vs[i].Count > vs[j].Count
+		}
+		if vs[i].Label != vs[j].Label {
+			return vs[i].Label < vs[j].Label
+		}
+		return vs[i].Term.Key() < vs[j].Term.Key()
+	})
+}
+
+// Histogram is a bucketed numeric summary for a range widget: Figure 5's
+// "hatch marks to represent documents thus showing a form of query
+// preview".
+type Histogram struct {
+	Prop     rdf.IRI
+	Min, Max float64
+	Buckets  []int
+	// Count is the number of items contributing a value.
+	Count int
+}
+
+// NumericHistogram summarizes prop's numeric values over the collection in
+// nbuckets equal-width buckets. Items without a parseable numeric value are
+// skipped; ok is false when fewer than two items contribute (no range to
+// select).
+func NumericHistogram(g *rdf.Graph, items []rdf.IRI, prop rdf.IRI, nbuckets int) (Histogram, bool) {
+	if nbuckets <= 0 {
+		nbuckets = 10
+	}
+	var vals []float64
+	for _, it := range items {
+		for _, o := range g.Objects(it, prop) {
+			lit, ok := o.(rdf.Literal)
+			if !ok {
+				continue
+			}
+			if f, ok := lit.Float(); ok {
+				vals = append(vals, f)
+				break // one value per item in the preview
+			}
+		}
+	}
+	if len(vals) < 2 {
+		return Histogram{Prop: prop}, false
+	}
+	h := Histogram{Prop: prop, Min: vals[0], Max: vals[0], Buckets: make([]int, nbuckets), Count: len(vals)}
+	for _, v := range vals {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	if h.Max == h.Min {
+		h.Buckets[0] = len(vals)
+		return h, true
+	}
+	for _, v := range vals {
+		b := int(float64(nbuckets) * (v - h.Min) / (h.Max - h.Min))
+		if b == nbuckets {
+			b--
+		}
+		h.Buckets[b]++
+	}
+	return h, true
+}
+
+// Outliers returns values more than k standard deviations from the mean of
+// prop over the collection (how the Figure 8 walkthrough "clearly shows one
+// state (Alaska) having a much larger area than the rest"). Items without
+// numeric values are skipped.
+func Outliers(g *rdf.Graph, items []rdf.IRI, prop rdf.IRI, k float64) []rdf.IRI {
+	type pair struct {
+		item rdf.IRI
+		v    float64
+	}
+	var pairs []pair
+	var sum float64
+	for _, it := range items {
+		for _, o := range g.Objects(it, prop) {
+			lit, ok := o.(rdf.Literal)
+			if !ok {
+				continue
+			}
+			if f, ok := lit.Float(); ok {
+				pairs = append(pairs, pair{it, f})
+				sum += f
+				break
+			}
+		}
+	}
+	if len(pairs) < 3 {
+		return nil
+	}
+	mean := sum / float64(len(pairs))
+	var varsum float64
+	for _, p := range pairs {
+		d := p.v - mean
+		varsum += d * d
+	}
+	variance := varsum / float64(len(pairs))
+	if variance == 0 {
+		return nil
+	}
+	std := math.Sqrt(variance)
+	var out []rdf.IRI
+	for _, p := range pairs {
+		if math.Abs(p.v-mean) > k*std {
+			out = append(out, p.item)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,318 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"magnet/internal/text"
+)
+
+// AnyField is the pseudo-field matching every indexed field in a TextIndex
+// query.
+const AnyField = ""
+
+// TextIndex is a field-aware inverted text index: the "external index" the
+// paper's query engine consults for keyword predicates (§4.2: "the query
+// engine has been extended to uniformly query an external index to support
+// text in documents"). Documents carry one or more named text fields (e.g.
+// title, body); queries may be scoped to a field or span all of them.
+type TextIndex struct {
+	mu       sync.RWMutex
+	analyzer *text.Analyzer
+
+	// postings: term → field → docID → tf.
+	postings map[string]map[string]map[string]int
+	// docFields: docID → field → token count (for existence and removal).
+	docTerms map[string]map[string]map[string]int
+	// fieldDF: term → set of docIDs containing it in any field.
+	df map[string]map[string]struct{}
+	// surfaces: analyzed term → raw token → count; tracks the most common
+	// pre-stemming surface form so suggestions can display "parsley" rather
+	// than the stem "parslei".
+	surfaces map[string]map[string]int
+}
+
+// NewTextIndex returns an empty text index using the given analyzer
+// (text.DefaultAnalyzer when nil).
+func NewTextIndex(a *text.Analyzer) *TextIndex {
+	if a == nil {
+		a = text.DefaultAnalyzer
+	}
+	return &TextIndex{
+		analyzer: a,
+		postings: make(map[string]map[string]map[string]int),
+		docTerms: make(map[string]map[string]map[string]int),
+		df:       make(map[string]map[string]struct{}),
+		surfaces: make(map[string]map[string]int),
+	}
+}
+
+// Analyzer returns the analyzer used to index and to parse queries.
+func (ix *TextIndex) Analyzer() *text.Analyzer { return ix.analyzer }
+
+// Index adds the raw text under (docID, field), accumulating with any text
+// already indexed for that pair.
+func (ix *TextIndex) Index(docID, field, raw string) {
+	tokens := text.Tokenize(raw)
+	counts := make(map[string]int, len(tokens))
+	surf := make(map[string]map[string]int, len(tokens))
+	for _, tok := range tokens {
+		analyzed := ix.analyzer.Terms(tok)
+		if len(analyzed) != 1 {
+			continue
+		}
+		term := analyzed[0]
+		counts[term]++
+		m := surf[term]
+		if m == nil {
+			m = make(map[string]int)
+			surf[term] = m
+		}
+		m[tok]++
+	}
+	if len(counts) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for term, toks := range surf {
+		m := ix.surfaces[term]
+		if m == nil {
+			m = make(map[string]int)
+			ix.surfaces[term] = m
+		}
+		for tok, n := range toks {
+			m[tok] += n
+		}
+	}
+	fields := ix.docTerms[docID]
+	if fields == nil {
+		fields = make(map[string]map[string]int)
+		ix.docTerms[docID] = fields
+	}
+	terms := fields[field]
+	if terms == nil {
+		terms = make(map[string]int)
+		fields[field] = terms
+	}
+	for t, c := range counts {
+		terms[t] += c
+		byField := ix.postings[t]
+		if byField == nil {
+			byField = make(map[string]map[string]int)
+			ix.postings[t] = byField
+		}
+		docs := byField[field]
+		if docs == nil {
+			docs = make(map[string]int)
+			byField[field] = docs
+		}
+		docs[docID] += c
+		set := ix.df[t]
+		if set == nil {
+			set = make(map[string]struct{})
+			ix.df[t] = set
+		}
+		set[docID] = struct{}{}
+	}
+}
+
+// Remove deletes every field of docID from the index.
+func (ix *TextIndex) Remove(docID string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	fields, ok := ix.docTerms[docID]
+	if !ok {
+		return false
+	}
+	for field, terms := range fields {
+		for t := range terms {
+			delete(ix.postings[t][field], docID)
+			if len(ix.postings[t][field]) == 0 {
+				delete(ix.postings[t], field)
+			}
+			if len(ix.postings[t]) == 0 {
+				delete(ix.postings, t)
+			}
+			if set := ix.df[t]; set != nil {
+				delete(set, docID)
+				if len(set) == 0 {
+					delete(ix.df, t)
+				}
+			}
+		}
+	}
+	delete(ix.docTerms, docID)
+	return true
+}
+
+// Len returns the number of indexed documents.
+func (ix *TextIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docTerms)
+}
+
+// DocFreq returns the number of documents containing term in any field.
+// The term is analyzed (stemmed) first.
+func (ix *TextIndex) DocFreq(term string) int {
+	terms := ix.analyzer.Terms(term)
+	if len(terms) != 1 {
+		return 0
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.df[terms[0]])
+}
+
+// Surface returns the most common raw (pre-stemming) token behind an
+// analyzed term, for display; falls back to the term itself when unknown.
+func (ix *TextIndex) Surface(term string) string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	best, bestN := term, 0
+	for tok, n := range ix.surfaces[term] {
+		if n > bestN || (n == bestN && tok < best) {
+			best, bestN = tok, n
+		}
+	}
+	return best
+}
+
+// MatchingTerm returns the sorted IDs of documents containing one
+// already-analyzed term in the given field (AnyField spans all fields). No
+// analysis is applied to the input.
+func (ix *TextIndex) MatchingTerm(term, field string) []string {
+	ix.mu.RLock()
+	docs := ix.docsWithTermLocked(term, field)
+	ix.mu.RUnlock()
+	out := make([]string, 0, len(docs))
+	for id := range docs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Matching returns the IDs of documents containing every term of the
+// analyzed query in the given field (AnyField spans all fields), sorted.
+// This is the boolean-AND primitive the query engine's keyword predicate
+// resolves through.
+func (ix *TextIndex) Matching(query, field string) []string {
+	terms := ix.analyzer.Terms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var result map[string]struct{}
+	for _, t := range terms {
+		docs := ix.docsWithTermLocked(t, field)
+		if len(docs) == 0 {
+			return nil
+		}
+		if result == nil {
+			result = docs
+			continue
+		}
+		for id := range result {
+			if _, ok := docs[id]; !ok {
+				delete(result, id)
+			}
+		}
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	out := make([]string, 0, len(result))
+	for id := range result {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ix *TextIndex) docsWithTermLocked(term, field string) map[string]struct{} {
+	byField := ix.postings[term]
+	if byField == nil {
+		return nil
+	}
+	out := make(map[string]struct{})
+	if field == AnyField {
+		for _, docs := range byField {
+			for id := range docs {
+				out[id] = struct{}{}
+			}
+		}
+		return out
+	}
+	for id := range byField[field] {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+// Search ranks documents against the analyzed free-text query by tf·idf
+// (documents need not contain every term). Results are in descending score
+// order, at most k (k ≤ 0 means unlimited).
+func (ix *TextIndex) Search(query, field string, k int) []Scored {
+	terms := ix.analyzer.Terms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := float64(len(ix.docTerms))
+	scores := make(map[string]float64)
+	for _, t := range terms {
+		df := float64(len(ix.df[t]))
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(n/df) + 1 // +1 keeps single-term queries ranked by tf
+		byField := ix.postings[t]
+		apply := func(docs map[string]int) {
+			for id, tf := range docs {
+				scores[id] += math.Log(float64(tf)+1) * idf
+			}
+		}
+		if field == AnyField {
+			for _, docs := range byField {
+				apply(docs)
+			}
+		} else {
+			apply(byField[field])
+		}
+	}
+	out := make([]Scored, 0, len(scores))
+	for id, s := range scores {
+		out = append(out, Scored{id, s})
+	}
+	sortScored(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Fields returns the distinct field names indexed for docID, sorted.
+func (ix *TextIndex) Fields(docID string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fields := ix.docTerms[docID]
+	out := make([]string, 0, len(fields))
+	for f := range fields {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FieldTermCounts returns the indexed term counts of (docID, field); the
+// returned map must not be mutated.
+func (ix *TextIndex) FieldTermCounts(docID, field string) map[string]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docTerms[docID][field]
+}

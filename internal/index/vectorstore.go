@@ -1,0 +1,356 @@
+// Package index implements the vector-space database Magnet stores item
+// vectors in, plus a field-aware inverted text index for keyword queries.
+// The paper (§5.2) used Lucene for this role: "an appropriate vector is
+// built for each item, and stored in a vector-space database (the Lucene
+// text search engine is used for this purpose)". This package reproduces
+// the needed subset from scratch: postings lists, document frequencies,
+// tf·idf weighting with the paper's exact formula, unit-length
+// normalization, dot-product similarity, and ranked retrieval.
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Scored pairs a document ID with a similarity or retrieval score.
+type Scored struct {
+	ID    string
+	Score float64
+}
+
+// sortScored orders by descending score, breaking ties by ascending ID so
+// output is deterministic.
+func sortScored(s []Scored) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].ID < s[j].ID
+	})
+}
+
+// VectorStore is a concurrency-safe store of sparse term-frequency vectors
+// with tf·idf weighting and cosine (unit-normalized dot product) similarity.
+//
+// Raw frequencies are stored; weighted vectors are derived lazily using the
+// paper's §5.2 formula
+//
+//	term-weight = log(freq + 1) × log(num-docs / num-docs-with-term)
+//
+// followed by normalization of each document vector to length one, "to give
+// objects equal importance rather than giving more importance to items with
+// more metadata". Derived vectors are cached and invalidated whenever any
+// document is added or removed (document frequencies shift globally).
+type VectorStore struct {
+	// PinnedPrefix, when non-empty, marks terms whose stored frequency is
+	// used directly as the (pre-normalization) weight, bypassing the
+	// log(freq+1)·idf formula. Magnet uses this for unit-circle numeric
+	// coordinates (paper §5.4): a date attribute present on every document
+	// would otherwise get idf 0 and vanish, defeating the encoding's point
+	// ("two e-mails received a day apart ... have some similar attributes").
+	// Must be set before any Add.
+	PinnedPrefix string
+
+	mu sync.RWMutex
+
+	freqs    map[string]map[string]float64 // docID → term → raw frequency
+	postings map[string]map[string]float64 // term → docID → raw frequency
+	df       map[string]int                // term → document frequency
+
+	gen    uint64                        // bumped on every mutation
+	cache  map[string]map[string]float64 // docID → normalized tf·idf vector
+	cached uint64                        // generation the cache was built at
+}
+
+// NewVectorStore returns an empty vector store.
+func NewVectorStore() *VectorStore {
+	return &VectorStore{
+		freqs:    make(map[string]map[string]float64),
+		postings: make(map[string]map[string]float64),
+		df:       make(map[string]int),
+		cache:    make(map[string]map[string]float64),
+	}
+}
+
+// Add stores (or replaces) the raw term-frequency vector for docID.
+// Frequencies must be positive; non-positive entries are dropped.
+func (v *VectorStore) Add(docID string, freqs map[string]float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.removeLocked(docID)
+	doc := make(map[string]float64, len(freqs))
+	for t, f := range freqs {
+		if f <= 0 {
+			continue
+		}
+		doc[t] = f
+		p := v.postings[t]
+		if p == nil {
+			p = make(map[string]float64)
+			v.postings[t] = p
+		}
+		p[docID] = f
+		v.df[t]++
+	}
+	v.freqs[docID] = doc
+	v.gen++
+}
+
+// Remove deletes docID from the store, reporting whether it was present.
+func (v *VectorStore) Remove(docID string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ok := v.removeLocked(docID)
+	if ok {
+		v.gen++
+	}
+	return ok
+}
+
+func (v *VectorStore) removeLocked(docID string) bool {
+	doc, ok := v.freqs[docID]
+	if !ok {
+		return false
+	}
+	for t := range doc {
+		delete(v.postings[t], docID)
+		if len(v.postings[t]) == 0 {
+			delete(v.postings, t)
+		}
+		if v.df[t]--; v.df[t] == 0 {
+			delete(v.df, t)
+		}
+	}
+	delete(v.freqs, docID)
+	return true
+}
+
+// Len returns the number of documents stored.
+func (v *VectorStore) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.freqs)
+}
+
+// Has reports whether docID is stored.
+func (v *VectorStore) Has(docID string) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.freqs[docID]
+	return ok
+}
+
+// DocFreq returns the number of documents containing term.
+func (v *VectorStore) DocFreq(term string) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.df[term]
+}
+
+// IDF returns the paper's inverse document frequency for term:
+// log(num-docs / num-docs-with-term); zero when the term is unknown or
+// appears in every document (such coordinates deliberately vanish — "helps
+// the system ignore those attribute values that are very common").
+func (v *VectorStore) IDF(term string) float64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.idfLocked(term)
+}
+
+func (v *VectorStore) idfLocked(term string) float64 {
+	df := v.df[term]
+	if df == 0 {
+		return 0
+	}
+	return math.Log(float64(len(v.freqs)) / float64(df))
+}
+
+// Vector returns the normalized tf·idf vector of docID (nil if absent).
+// The returned map must not be mutated.
+func (v *VectorStore) Vector(docID string) map[string]float64 {
+	v.mu.RLock()
+	if v.cached == v.gen {
+		if vec, ok := v.cache[docID]; ok {
+			v.mu.RUnlock()
+			return vec
+		}
+	}
+	v.mu.RUnlock()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.cached != v.gen {
+		v.cache = make(map[string]map[string]float64)
+		v.cached = v.gen
+	}
+	if vec, ok := v.cache[docID]; ok {
+		return vec
+	}
+	vec := v.buildVectorLocked(docID)
+	if vec != nil {
+		v.cache[docID] = vec
+	}
+	return vec
+}
+
+func (v *VectorStore) buildVectorLocked(docID string) map[string]float64 {
+	doc, ok := v.freqs[docID]
+	if !ok {
+		return nil
+	}
+	vec := make(map[string]float64, len(doc))
+	var norm float64
+	for t, f := range doc {
+		var w float64
+		if v.PinnedPrefix != "" && strings.HasPrefix(t, v.PinnedPrefix) {
+			w = f
+		} else {
+			w = math.Log(f+1) * v.idfLocked(t)
+		}
+		if w == 0 {
+			continue
+		}
+		vec[t] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for t := range vec {
+			vec[t] /= norm
+		}
+	}
+	return vec
+}
+
+// Similarity returns the dot product of the two documents' normalized
+// vectors (cosine similarity); zero when either is absent.
+func (v *VectorStore) Similarity(a, b string) float64 {
+	return Dot(v.Vector(a), v.Vector(b))
+}
+
+// Dot returns the sparse dot product of two vectors.
+func Dot(a, b map[string]float64) float64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var s float64
+	for t, w := range a {
+		s += w * b[t]
+	}
+	return s
+}
+
+// Centroid returns the normalized sum of the documents' vectors — the
+// "average member" of the collection the paper dots against (§5.3). Absent
+// IDs are skipped. The result has unit length unless empty.
+func (v *VectorStore) Centroid(ids []string) map[string]float64 {
+	sum := make(map[string]float64)
+	for _, id := range ids {
+		for t, w := range v.Vector(id) {
+			sum[t] += w
+		}
+	}
+	Normalize(sum)
+	return sum
+}
+
+// Normalize scales vec to unit length in place (no-op for zero vectors).
+func Normalize(vec map[string]float64) {
+	var norm float64
+	for _, w := range vec {
+		norm += w * w
+	}
+	if norm == 0 {
+		return
+	}
+	norm = math.Sqrt(norm)
+	for t := range vec {
+		vec[t] /= norm
+	}
+}
+
+// SimilarTo returns up to k documents most similar to the query vector, in
+// descending score order, skipping documents for which exclude returns true
+// and documents with zero score. exclude may be nil.
+func (v *VectorStore) SimilarTo(query map[string]float64, k int, exclude func(string) bool) []Scored {
+	if k <= 0 || len(query) == 0 {
+		return nil
+	}
+	// Accumulate via postings so only candidate documents sharing at least
+	// one query term are touched.
+	candidates := make(map[string]struct{})
+	v.mu.RLock()
+	for t := range query {
+		for docID := range v.postings[t] {
+			candidates[docID] = struct{}{}
+		}
+	}
+	v.mu.RUnlock()
+
+	scores := make([]Scored, 0, len(candidates))
+	for docID := range candidates {
+		if exclude != nil && exclude(docID) {
+			continue
+		}
+		if s := Dot(query, v.Vector(docID)); s > 0 {
+			scores = append(scores, Scored{docID, s})
+		}
+	}
+	sortScored(scores)
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+// TermWeight is a term with its weight in some vector.
+type TermWeight struct {
+	Term   string
+	Weight float64
+}
+
+// TopTerms returns the k highest-weighted terms of vec in descending weight
+// order (ties broken by term). This implements the paper's query-refinement
+// move (§5.3): "applying this technique involves just picking terms in the
+// average document having the largest normalized term weights". accept may
+// be nil; otherwise only terms it admits are returned.
+func TopTerms(vec map[string]float64, k int, accept func(string) bool) []TermWeight {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]TermWeight, 0, len(vec))
+	for t, w := range vec {
+		if w <= 0 {
+			continue
+		}
+		if accept != nil && !accept(t) {
+			continue
+		}
+		out = append(out, TermWeight{t, w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Term < out[j].Term
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// IDs returns all stored document IDs, sorted.
+func (v *VectorStore) IDs() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.freqs))
+	for id := range v.freqs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,69 @@
+package query
+
+import (
+	"testing"
+	"time"
+
+	"magnet/internal/rdf"
+)
+
+// Keys must be canonical, stable, and collision-free across predicate
+// kinds — they identify constraints for dedup, history and web routing.
+func TestPredicateKeysDistinct(t *testing.T) {
+	preds := []Predicate{
+		Property{pCuisine, greek},
+		Property{pCuisine, mexican},
+		Property{pIngredient, greek}, // same value, different property
+		PathProperty{Path: []rdf.IRI{pIngredient, pCuisine}, Value: greek},
+		Keyword{Text: "greek"},
+		Keyword{Text: "greek", Field: "title"},
+		TermMatch{Term: "greek"},
+		TermMatch{Term: "greek", Field: "title"},
+		Between(pServings, 1, 5),
+		AtLeast(pServings, 1),
+		AtMost(pServings, 5),
+		Not{Property{pCuisine, greek}},
+		And{[]Predicate{Property{pCuisine, greek}}},
+		Or{[]Predicate{Property{pCuisine, greek}}},
+		AnyValueIn{Prop: pIngredient, Values: []rdf.IRI{greek}},
+		AllValuesIn{Prop: pIngredient, Values: []rdf.IRI{greek}},
+	}
+	seen := map[string]int{}
+	for i, p := range preds {
+		k := p.Key()
+		if k == "" {
+			t.Errorf("predicate %d has empty key", i)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %d and %d: %q", prev, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+// Keyword keys are case-insensitive (the same search twice shouldn't stack
+// twice).
+func TestKeywordKeyCaseInsensitive(t *testing.T) {
+	if (Keyword{Text: "Walnut"}).Key() != (Keyword{Text: "walnut"}).Key() {
+		t.Error("keyword keys should fold case")
+	}
+}
+
+func TestRangeKeyIncludesBounds(t *testing.T) {
+	if Between(pServings, 1, 5).Key() == Between(pServings, 1, 6).Key() {
+		t.Error("different bounds must have different keys")
+	}
+	if AtLeast(pServings, 1).Key() == AtMost(pServings, 1).Key() {
+		t.Error("one-sided ranges must be distinguishable")
+	}
+}
+
+func TestTimeBetweenEquivalence(t *testing.T) {
+	from := time.Date(2003, 7, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+	a := TimeBetween(pSent, from, to)
+	b := Between(pSent, float64(from.Unix()), float64(to.Unix()))
+	if a.Key() != b.Key() {
+		t.Error("TimeBetween should be sugar for Between on Unix seconds")
+	}
+}

@@ -1,0 +1,544 @@
+// Package query implements Magnet's query engine (paper §4.2): resolution
+// of the "various set concepts" behind navigation. Queries are conjunctions
+// of predicates (the constraint list at the top of the navigation pane);
+// predicates may be negated, grouped disjunctively, property/value matches,
+// free-text keyword matches resolved "uniformly [against] an external
+// index", or numeric range comparisons ("greater than and less than
+// predicates").
+//
+// The extension mechanism the paper describes is the Predicate interface
+// itself: analysts (or applications) define new predicate types that
+// evaluate against the Engine's graph, schema and text index.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"magnet/internal/index"
+	"magnet/internal/rdf"
+	"magnet/internal/schema"
+)
+
+// Set is a set of items.
+type Set map[rdf.IRI]struct{}
+
+// NewSet builds a set from items.
+func NewSet(items ...rdf.IRI) Set {
+	s := make(Set, len(items))
+	for _, it := range items {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(it rdf.IRI) bool {
+	_, ok := s[it]
+	return ok
+}
+
+// Items returns the members sorted.
+func (s Set) Items() []rdf.IRI {
+	out := make([]rdf.IRI, 0, len(s))
+	for it := range s {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	out := make(Set)
+	for it := range s {
+		if t.Has(it) {
+			out[it] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := make(Set, len(s)+len(t))
+	for it := range s {
+		out[it] = struct{}{}
+	}
+	for it := range t {
+		out[it] = struct{}{}
+	}
+	return out
+}
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set {
+	out := make(Set)
+	for it := range s {
+		if !t.Has(it) {
+			out[it] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Labeler renders resources for humans; the graph's Label method satisfies
+// it via a closure.
+type Labeler func(rdf.IRI) string
+
+// Engine evaluates predicates over a graph with its annotations, an
+// external text index, and a universe of queryable items.
+type Engine struct {
+	g    *rdf.Graph
+	sch  *schema.Store
+	text *index.TextIndex
+	// universe lists all queryable items (Magnet's indexed information
+	// objects); Not and empty queries resolve against it.
+	universe func() []rdf.IRI
+}
+
+// NewEngine returns an engine. text may be nil (keyword predicates then
+// match nothing); universe must not be nil.
+func NewEngine(g *rdf.Graph, sch *schema.Store, text *index.TextIndex, universe func() []rdf.IRI) *Engine {
+	return &Engine{g: g, sch: sch, text: text, universe: universe}
+}
+
+// Graph exposes the engine's graph to custom predicates.
+func (e *Engine) Graph() *rdf.Graph { return e.g }
+
+// Schema exposes the engine's annotation store to custom predicates.
+func (e *Engine) Schema() *schema.Store { return e.sch }
+
+// TextIndex exposes the engine's external text index to custom predicates
+// (may be nil).
+func (e *Engine) TextIndex() *index.TextIndex { return e.text }
+
+// Universe returns the set of all queryable items.
+func (e *Engine) Universe() Set {
+	return NewSet(e.universe()...)
+}
+
+// Predicate is one query constraint. Implementations evaluate to the set of
+// matching items; new predicate kinds plug in by implementing this
+// interface (the §4.2 extension mechanism).
+type Predicate interface {
+	// Eval returns the items matching the predicate.
+	Eval(e *Engine) Set
+	// Describe renders the constraint for the navigation pane.
+	Describe(l Labeler) string
+	// Key is a canonical identity used for de-duplication and history.
+	Key() string
+}
+
+// Property matches items carrying an exact attribute/value pair.
+type Property struct {
+	Prop  rdf.IRI
+	Value rdf.Term
+}
+
+// Eval implements Predicate via the graph's reverse index.
+func (p Property) Eval(e *Engine) Set {
+	return NewSet(e.g.Subjects(p.Prop, p.Value)...)
+}
+
+// Describe implements Predicate.
+func (p Property) Describe(l Labeler) string {
+	var v string
+	switch t := p.Value.(type) {
+	case rdf.IRI:
+		v = l(t)
+	case rdf.Literal:
+		v = t.Lexical
+	default:
+		v = p.Value.String()
+	}
+	return l(p.Prop) + " = " + v
+}
+
+// Key implements Predicate.
+func (p Property) Key() string { return "prop:" + string(p.Prop) + "=" + p.Value.Key() }
+
+// TypeIs matches items of an rdf:type.
+func TypeIs(class rdf.IRI) Property {
+	return Property{Prop: rdf.Type, Value: class}
+}
+
+// PathProperty matches items reaching Value through a composed property
+// path (§5.1's "the author's field of expertise"): item —p₁→ x —p₂→ ... →
+// Value. A length-1 path is equivalent to Property.
+type PathProperty struct {
+	Path  []rdf.IRI
+	Value rdf.Term
+}
+
+// Eval implements Predicate by chasing the path backwards through the
+// reverse index: subjects(pₙ, value), then subjects(pₙ₋₁, ·) of those, ...
+func (p PathProperty) Eval(e *Engine) Set {
+	if len(p.Path) == 0 {
+		return Set{}
+	}
+	frontier := NewSet(e.g.Subjects(p.Path[len(p.Path)-1], p.Value)...)
+	for i := len(p.Path) - 2; i >= 0; i-- {
+		next := make(Set)
+		for node := range frontier {
+			for _, s := range e.g.Subjects(p.Path[i], node) {
+				next[s] = struct{}{}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return frontier
+}
+
+// Describe implements Predicate.
+func (p PathProperty) Describe(l Labeler) string {
+	segs := make([]string, len(p.Path))
+	for i, prop := range p.Path {
+		segs[i] = l(prop)
+	}
+	var v string
+	switch t := p.Value.(type) {
+	case rdf.IRI:
+		v = l(t)
+	case rdf.Literal:
+		v = t.Lexical
+	default:
+		v = p.Value.String()
+	}
+	return strings.Join(segs, " · ") + " = " + v
+}
+
+// Key implements Predicate.
+func (p PathProperty) Key() string {
+	segs := make([]string, len(p.Path))
+	for i, prop := range p.Path {
+		segs[i] = string(prop)
+	}
+	return "path:" + strings.Join(segs, "/") + "=" + p.Value.Key()
+}
+
+// Keyword matches items whose indexed text contains every word of Text.
+// Field scopes the match ("" = any field); fields are the names used when
+// the text index was populated (conventionally "title" and "body").
+type Keyword struct {
+	Text  string
+	Field string
+}
+
+// Eval implements Predicate through the external text index (§4.2).
+func (k Keyword) Eval(e *Engine) Set {
+	if e.text == nil || strings.TrimSpace(k.Text) == "" {
+		return Set{}
+	}
+	ids := e.text.Matching(k.Text, k.Field)
+	out := make(Set, len(ids))
+	for _, id := range ids {
+		out[rdf.IRI(id)] = struct{}{}
+	}
+	return out
+}
+
+// Describe implements Predicate.
+func (k Keyword) Describe(Labeler) string {
+	if k.Field != "" {
+		return fmt.Sprintf("%s contains %q", k.Field, k.Text)
+	}
+	return fmt.Sprintf("contains %q", k.Text)
+}
+
+// Key implements Predicate.
+func (k Keyword) Key() string { return "kw:" + k.Field + ":" + strings.ToLower(k.Text) }
+
+// TermMatch matches items whose indexed text contains one already-analyzed
+// (stemmed) term. Refinement analysts use it to turn vector-space word
+// coordinates — which are stems — into constraints without re-stemming
+// (Porter is not idempotent). Display holds the human-readable surface form.
+type TermMatch struct {
+	Term    string
+	Field   string
+	Display string
+}
+
+// Eval implements Predicate.
+func (m TermMatch) Eval(e *Engine) Set {
+	if e.text == nil || m.Term == "" {
+		return Set{}
+	}
+	ids := e.text.MatchingTerm(m.Term, m.Field)
+	out := make(Set, len(ids))
+	for _, id := range ids {
+		out[rdf.IRI(id)] = struct{}{}
+	}
+	return out
+}
+
+// Describe implements Predicate.
+func (m TermMatch) Describe(Labeler) string {
+	d := m.Display
+	if d == "" {
+		d = m.Term
+	}
+	if m.Field != "" {
+		return fmt.Sprintf("%s has word %q", m.Field, d)
+	}
+	return fmt.Sprintf("has word %q", d)
+}
+
+// Key implements Predicate.
+func (m TermMatch) Key() string { return "term:" + m.Field + ":" + m.Term }
+
+// Range matches items whose Prop has a numeric (or numeric-parseable, or
+// temporal) value within [Min, Max]; either bound may be nil for a
+// one-sided greater-than / less-than comparison (§4.2, §5.4).
+type Range struct {
+	Prop rdf.IRI
+	Min  *float64
+	Max  *float64
+}
+
+// Between builds a two-sided range.
+func Between(prop rdf.IRI, min, max float64) Range {
+	return Range{Prop: prop, Min: &min, Max: &max}
+}
+
+// AtLeast builds a one-sided greater-than-or-equal range.
+func AtLeast(prop rdf.IRI, min float64) Range { return Range{Prop: prop, Min: &min} }
+
+// AtMost builds a one-sided less-than-or-equal range.
+func AtMost(prop rdf.IRI, max float64) Range { return Range{Prop: prop, Max: &max} }
+
+// TimeBetween builds a range over a temporal property.
+func TimeBetween(prop rdf.IRI, from, to time.Time) Range {
+	return Between(prop, float64(from.Unix()), float64(to.Unix()))
+}
+
+// Eval implements Predicate by walking the property's value domain (one
+// reverse-index probe per in-range value, never per item).
+func (r Range) Eval(e *Engine) Set {
+	out := make(Set)
+	for _, v := range e.g.ObjectsOf(r.Prop) {
+		lit, ok := v.(rdf.Literal)
+		if !ok {
+			continue
+		}
+		f, ok := lit.Float()
+		if !ok {
+			continue
+		}
+		if r.Min != nil && f < *r.Min {
+			continue
+		}
+		if r.Max != nil && f > *r.Max {
+			continue
+		}
+		for _, s := range e.g.Subjects(r.Prop, v) {
+			out[s] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Describe implements Predicate.
+func (r Range) Describe(l Labeler) string {
+	name := l(r.Prop)
+	fmtBound := func(f float64) string {
+		if f >= 1e9 && f < 1e11 { // plausibly Unix seconds
+			return time.Unix(int64(f), 0).UTC().Format("2006-01-02")
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	switch {
+	case r.Min != nil && r.Max != nil:
+		return fmt.Sprintf("%s in [%s, %s]", name, fmtBound(*r.Min), fmtBound(*r.Max))
+	case r.Min != nil:
+		return fmt.Sprintf("%s ≥ %s", name, fmtBound(*r.Min))
+	case r.Max != nil:
+		return fmt.Sprintf("%s ≤ %s", name, fmtBound(*r.Max))
+	default:
+		return name + " has any value"
+	}
+}
+
+// Key implements Predicate.
+func (r Range) Key() string {
+	b := "range:" + string(r.Prop) + ":"
+	if r.Min != nil {
+		b += strconv.FormatFloat(*r.Min, 'g', -1, 64)
+	}
+	b += ".."
+	if r.Max != nil {
+		b += strconv.FormatFloat(*r.Max, 'g', -1, 64)
+	}
+	return b
+}
+
+// Not negates a predicate against the universe (the context-menu negation
+// of §3.2, and the Contrary Constraints advisor's operation).
+type Not struct {
+	P Predicate
+}
+
+// Eval implements Predicate.
+func (n Not) Eval(e *Engine) Set {
+	return e.Universe().Minus(n.P.Eval(e))
+}
+
+// Describe implements Predicate.
+func (n Not) Describe(l Labeler) string { return "NOT " + n.P.Describe(l) }
+
+// Key implements Predicate.
+func (n Not) Key() string { return "not:" + n.P.Key() }
+
+// And is an explicit conjunction (the compound refinement of §3.3).
+type And struct {
+	Ps []Predicate
+}
+
+// Eval implements Predicate.
+func (a And) Eval(e *Engine) Set {
+	if len(a.Ps) == 0 {
+		return e.Universe()
+	}
+	out := a.Ps[0].Eval(e)
+	for _, p := range a.Ps[1:] {
+		if len(out) == 0 {
+			return out
+		}
+		out = out.Intersect(p.Eval(e))
+	}
+	return out
+}
+
+// Describe implements Predicate.
+func (a And) Describe(l Labeler) string { return joinDescribe(a.Ps, l, " AND ") }
+
+// Key implements Predicate.
+func (a And) Key() string { return joinKeys("and", a.Ps) }
+
+// Or is a disjunction (the "'or' refinement" of §3.3: items that "either
+// have a dairy product or a vegetable in them").
+type Or struct {
+	Ps []Predicate
+}
+
+// Eval implements Predicate.
+func (o Or) Eval(e *Engine) Set {
+	out := make(Set)
+	for _, p := range o.Ps {
+		out = out.Union(p.Eval(e))
+	}
+	return out
+}
+
+// Describe implements Predicate.
+func (o Or) Describe(l Labeler) string { return joinDescribe(o.Ps, l, " OR ") }
+
+// Key implements Predicate.
+func (o Or) Key() string { return joinKeys("or", o.Ps) }
+
+func joinDescribe(ps []Predicate, l Labeler, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Describe(l)
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func joinKeys(op string, ps []Predicate) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Key()
+	}
+	sort.Strings(parts)
+	return op + ":{" + strings.Join(parts, ",") + "}"
+}
+
+// Query is the user's current conjunctive constraint list (§3.2: "a
+// conjunctive query consisting of three terms or constraints"). Queries are
+// immutable values; refinement operations return new queries, which is what
+// makes the Refinement History advisor's undo trivial.
+type Query struct {
+	Terms []Predicate
+}
+
+// NewQuery builds a query from constraint terms.
+func NewQuery(terms ...Predicate) Query {
+	return Query{Terms: terms}
+}
+
+// With returns the query extended by p (ignored if an identical constraint
+// is already present).
+func (q Query) With(p Predicate) Query {
+	for _, t := range q.Terms {
+		if t.Key() == p.Key() {
+			return q
+		}
+	}
+	terms := make([]Predicate, len(q.Terms)+1)
+	copy(terms, q.Terms)
+	terms[len(q.Terms)] = p
+	return Query{Terms: terms}
+}
+
+// Without returns the query with the i-th constraint removed (the '✕' of
+// §3.2); out-of-range indices return the query unchanged.
+func (q Query) Without(i int) Query {
+	if i < 0 || i >= len(q.Terms) {
+		return q
+	}
+	terms := make([]Predicate, 0, len(q.Terms)-1)
+	terms = append(terms, q.Terms[:i]...)
+	terms = append(terms, q.Terms[i+1:]...)
+	return Query{Terms: terms}
+}
+
+// Negate returns the query with the i-th constraint inverted (the
+// context-menu negation of §3.2); double negation unwraps.
+func (q Query) Negate(i int) Query {
+	if i < 0 || i >= len(q.Terms) {
+		return q
+	}
+	terms := make([]Predicate, len(q.Terms))
+	copy(terms, q.Terms)
+	if n, ok := terms[i].(Not); ok {
+		terms[i] = n.P
+	} else {
+		terms[i] = Not{P: terms[i]}
+	}
+	return Query{Terms: terms}
+}
+
+// IsEmpty reports whether the query has no constraints.
+func (q Query) IsEmpty() bool { return len(q.Terms) == 0 }
+
+// Eval evaluates the conjunction; the empty query yields the universe.
+func (q Query) Eval(e *Engine) Set {
+	return And{Ps: q.Terms}.Eval(e)
+}
+
+// Describe renders each constraint on its own line.
+func (q Query) Describe(l Labeler) []string {
+	out := make([]string, len(q.Terms))
+	for i, t := range q.Terms {
+		out[i] = t.Describe(l)
+	}
+	return out
+}
+
+// Key canonically identifies the query (term order is irrelevant for
+// conjunctions).
+func (q Query) Key() string { return joinKeys("query", q.Terms) }
+
+// Evaluate runs q and returns the result as a sorted item slice.
+func (e *Engine) Evaluate(q Query) []rdf.IRI {
+	return q.Eval(e).Items()
+}

@@ -1,0 +1,404 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// Graph is an in-memory, concurrency-safe, indexed triple store. It
+// maintains subject→predicate→object and predicate→object→subject indexes
+// so that both forward navigation (attributes of an item) and reverse
+// navigation (items with a given attribute value) are O(result).
+//
+// All read accessors return freshly allocated, deterministically ordered
+// slices so callers may retain and mutate them, and so navigation panes
+// render identically run to run.
+type Graph struct {
+	mu sync.RWMutex
+
+	// spo: subject → predicate → object key → object term.
+	spo map[IRI]map[IRI]map[string]Term
+	// pos: predicate → object key → subject set.
+	pos map[IRI]map[string]map[IRI]struct{}
+	// terms interns object terms by key, for recovering a Term from an
+	// index key.
+	terms map[string]Term
+
+	size    int
+	version uint64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo:   make(map[IRI]map[IRI]map[string]Term),
+		pos:   make(map[IRI]map[string]map[IRI]struct{}),
+		terms: make(map[string]Term),
+	}
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.size
+}
+
+// Add inserts the triple (s, p, o). It reports whether the triple was new.
+func (g *Graph) Add(s, p IRI, o Term) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addLocked(s, p, o)
+}
+
+// AddAll inserts every statement in sts, returning the number newly added.
+func (g *Graph) AddAll(sts []Statement) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, st := range sts {
+		if g.addLocked(st.Subject, st.Predicate, st.Object) {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Graph) addLocked(s, p IRI, o Term) bool {
+	ok := o.Key()
+	po := g.spo[s]
+	if po == nil {
+		po = make(map[IRI]map[string]Term)
+		g.spo[s] = po
+	}
+	objs := po[p]
+	if objs == nil {
+		objs = make(map[string]Term)
+		po[p] = objs
+	}
+	if _, dup := objs[ok]; dup {
+		return false
+	}
+	objs[ok] = o
+
+	os := g.pos[p]
+	if os == nil {
+		os = make(map[string]map[IRI]struct{})
+		g.pos[p] = os
+	}
+	subs := os[ok]
+	if subs == nil {
+		subs = make(map[IRI]struct{})
+		os[ok] = subs
+	}
+	subs[s] = struct{}{}
+
+	if _, seen := g.terms[ok]; !seen {
+		g.terms[ok] = o
+	}
+	g.size++
+	g.version++
+	return true
+}
+
+// Version returns a counter that changes on every successful mutation;
+// caches keyed on it stay valid exactly while the graph is unchanged.
+func (g *Graph) Version() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
+}
+
+// Remove deletes the triple (s, p, o). It reports whether it was present.
+func (g *Graph) Remove(s, p IRI, o Term) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ok := o.Key()
+	objs := g.spo[s][p]
+	if _, present := objs[ok]; !present {
+		return false
+	}
+	delete(objs, ok)
+	if len(objs) == 0 {
+		delete(g.spo[s], p)
+		if len(g.spo[s]) == 0 {
+			delete(g.spo, s)
+		}
+	}
+	subs := g.pos[p][ok]
+	delete(subs, s)
+	if len(subs) == 0 {
+		delete(g.pos[p], ok)
+		if len(g.pos[p]) == 0 {
+			delete(g.pos, p)
+		}
+	}
+	g.size--
+	g.version++
+	return true
+}
+
+// Has reports whether the triple (s, p, o) is present.
+func (g *Graph) Has(s, p IRI, o Term) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, present := g.spo[s][p][o.Key()]
+	return present
+}
+
+// HasSubject reports whether any triple has subject s.
+func (g *Graph) HasSubject(s IRI) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.spo[s]) > 0
+}
+
+// Objects returns all objects of triples (s, p, ·), sorted by key.
+func (g *Graph) Objects(s, p IRI) []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	objs := g.spo[s][p]
+	if len(objs) == 0 {
+		return nil
+	}
+	out := make([]Term, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, o)
+	}
+	sortTerms(out)
+	return out
+}
+
+// Object returns one object of (s, p, ·) — the least by key — and whether
+// any exists. Useful for functional properties such as labels.
+func (g *Graph) Object(s, p IRI) (Term, bool) {
+	objs := g.Objects(s, p)
+	if len(objs) == 0 {
+		return nil, false
+	}
+	return objs[0], true
+}
+
+// ObjectCount returns the number of objects of (s, p, ·) without
+// materializing them (used for per-attribute tf normalization, §5.2).
+func (g *Graph) ObjectCount(s, p IRI) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.spo[s][p])
+}
+
+// Subjects returns all subjects of triples (·, p, o), sorted.
+func (g *Graph) Subjects(p IRI, o Term) []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	subs := g.pos[p][o.Key()]
+	if len(subs) == 0 {
+		return nil
+	}
+	out := make([]IRI, 0, len(subs))
+	for s := range subs {
+		out = append(out, s)
+	}
+	sortIRIs(out)
+	return out
+}
+
+// SubjectCount returns the number of subjects of (·, p, o) without
+// materializing them; this is the document frequency of an attribute/value
+// coordinate (§5.2 tf·idf).
+func (g *Graph) SubjectCount(p IRI, o Term) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.pos[p][o.Key()])
+}
+
+// PredicatesOf returns the distinct predicates on subject s, sorted.
+func (g *Graph) PredicatesOf(s IRI) []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	po := g.spo[s]
+	if len(po) == 0 {
+		return nil
+	}
+	out := make([]IRI, 0, len(po))
+	for p := range po {
+		out = append(out, p)
+	}
+	sortIRIs(out)
+	return out
+}
+
+// Predicates returns every distinct predicate in the graph, sorted.
+func (g *Graph) Predicates() []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]IRI, 0, len(g.pos))
+	for p := range g.pos {
+		out = append(out, p)
+	}
+	sortIRIs(out)
+	return out
+}
+
+// AllSubjects returns every distinct subject in the graph, sorted.
+func (g *Graph) AllSubjects() []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]IRI, 0, len(g.spo))
+	for s := range g.spo {
+		out = append(out, s)
+	}
+	sortIRIs(out)
+	return out
+}
+
+// ObjectsOf returns the distinct object terms appearing with predicate p,
+// sorted by key. This enumerates the value domain of an attribute (used to
+// build facet histograms and range widgets).
+func (g *Graph) ObjectsOf(p IRI) []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	os := g.pos[p]
+	if len(os) == 0 {
+		return nil
+	}
+	out := make([]Term, 0, len(os))
+	for k := range os {
+		out = append(out, g.terms[k])
+	}
+	sortTerms(out)
+	return out
+}
+
+// SubjectsWithProperty returns the distinct subjects carrying any value of
+// predicate p, sorted (the property's coverage set).
+func (g *Graph) SubjectsWithProperty(p IRI) []IRI {
+	g.mu.RLock()
+	set := make(map[IRI]struct{})
+	for _, subs := range g.pos[p] {
+		for s := range subs {
+			set[s] = struct{}{}
+		}
+	}
+	g.mu.RUnlock()
+	out := make([]IRI, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortIRIs(out)
+	return out
+}
+
+// Statements returns every triple with subject s, sorted.
+func (g *Graph) Statements(s IRI) []Statement {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Statement
+	for p, objs := range g.spo[s] {
+		for _, o := range objs {
+			out = append(out, Statement{s, p, o})
+		}
+	}
+	sortStatements(out)
+	return out
+}
+
+// AllStatements returns every triple in the graph, sorted. Intended for
+// serialization and tests; large graphs should iterate with ForEach.
+func (g *Graph) AllStatements() []Statement {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Statement, 0, g.size)
+	for s, po := range g.spo {
+		for p, objs := range po {
+			for _, o := range objs {
+				out = append(out, Statement{s, p, o})
+			}
+		}
+	}
+	sortStatements(out)
+	return out
+}
+
+// ForEach calls f for every triple until f returns false. Iteration order
+// is unspecified. The graph must not be mutated from within f.
+func (g *Graph) ForEach(f func(Statement) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for s, po := range g.spo {
+		for p, objs := range po {
+			for _, o := range objs {
+				if !f(Statement{s, p, o}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// SubjectsOfType returns all subjects with rdf:type t, sorted.
+func (g *Graph) SubjectsOfType(t IRI) []IRI {
+	return g.Subjects(Type, t)
+}
+
+// Types returns the rdf:type objects of s that are IRIs, sorted.
+func (g *Graph) Types(s IRI) []IRI {
+	objs := g.Objects(s, Type)
+	out := make([]IRI, 0, len(objs))
+	for _, o := range objs {
+		if t, ok := o.(IRI); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Label returns the best display name for a resource: its magnet:label or
+// rdfs:label if present, otherwise its humanized local name. When no label
+// exists the raw identifier behaviour of the paper's Figure 7 is preserved
+// by callers that pass rawIfUnlabeled.
+func (g *Graph) Label(s IRI) string {
+	for _, p := range []IRI{AnnLabel, Label, DCTitle} {
+		if o, ok := g.Object(s, p); ok {
+			if l, isLit := o.(Literal); isLit && l.Lexical != "" {
+				return l.Lexical
+			}
+		}
+	}
+	return PlainName(s)
+}
+
+// HasLabel reports whether s carries an explicit label triple.
+func (g *Graph) HasLabel(s IRI) bool {
+	for _, p := range []IRI{AnnLabel, Label, DCTitle} {
+		if _, ok := g.Object(s, p); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TermLabel returns the display form of any term: labels for IRIs, lexical
+// forms for literals.
+func (g *Graph) TermLabel(t Term) string {
+	switch v := t.(type) {
+	case IRI:
+		return g.Label(v)
+	case Literal:
+		return v.Lexical
+	default:
+		return t.String()
+	}
+}
+
+func sortIRIs(s []IRI) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func sortTerms(s []Term) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Key() < s[j].Key() })
+}
+
+func sortStatements(s []Statement) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Key() < s[j].Key() })
+}

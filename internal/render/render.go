@@ -1,0 +1,150 @@
+// Package render draws Magnet's interface as text: the navigation pane of
+// Figure 1, the large-collection facet overview of Figure 2, item cards,
+// and the range widget's query-preview histogram of Figure 5. The CLI and
+// the evaluation binaries print these; the paper's screenshots map onto
+// this output one-for-one (panes, groups, '...' affordances, hatch marks).
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"magnet/internal/advisors"
+	"magnet/internal/facets"
+	"magnet/internal/rdf"
+)
+
+// Pane writes the navigation pane: the query constraints (each removable
+// with '✕', negatable via context menu), then each advisor's groups. When
+// number is true, suggestions get global ordinals for CLI selection.
+func Pane(w io.Writer, p advisors.Pane, number bool) {
+	if len(p.Constraints) > 0 {
+		fmt.Fprintln(w, "Query:")
+		for i, c := range p.Constraints {
+			fmt.Fprintf(w, "  [%d] %s  (✕ remove · ¬ negate)\n", i, c)
+		}
+	} else {
+		fmt.Fprintln(w, "Query: (all items)")
+	}
+	n := 0
+	for _, sec := range p.Sections {
+		fmt.Fprintf(w, "\n── %s ──\n", sec.Advisor)
+		for _, g := range sec.Groups {
+			if g.Title != "" {
+				fmt.Fprintf(w, "  %s:\n", g.Title)
+			}
+			for _, s := range g.Suggestions {
+				n++
+				prefix := "   -"
+				if number {
+					prefix = fmt.Sprintf("  %2d.", n)
+				}
+				line := prefix + " " + s.Title
+				if s.Detail != "" {
+					line += "  (" + s.Detail + ")"
+				}
+				fmt.Fprintln(w, line)
+			}
+			if g.Omitted > 0 {
+				fmt.Fprintf(w, "     ... %d more\n", g.Omitted)
+			}
+		}
+		if sec.OmittedGroups > 0 {
+			fmt.Fprintf(w, "  ... %d more groups\n", sec.OmittedGroups)
+		}
+	}
+}
+
+// Overview writes the large-collection facet overview (Figure 2): each
+// property with its top values and counts, bar-scaled.
+func Overview(w io.Writer, fs []facets.Facet, total int) {
+	fmt.Fprintf(w, "Overview of %d items\n", total)
+	for _, f := range fs {
+		label := f.Label
+		if !f.Labeled {
+			// Figure 7 behaviour: raw identifiers when unannotated.
+			label = string(f.Prop)
+		}
+		fmt.Fprintf(w, "\n%s  (%d values, %d items)\n", label, f.Distinct, f.Coverage)
+		for _, v := range f.Values {
+			fmt.Fprintf(w, "  %-28s %5d %s\n", clip(v.Label, 28), v.Count, bar(v.Count, total, 30))
+		}
+		if rest := f.Distinct - len(f.Values); rest > 0 {
+			fmt.Fprintf(w, "  ... %d more values\n", rest)
+		}
+	}
+}
+
+// Item writes an item card: label then each attribute/value pair.
+func Item(w io.Writer, g *rdf.Graph, item rdf.IRI) {
+	fmt.Fprintf(w, "%s\n", g.Label(item))
+	fmt.Fprintf(w, "  <%s>\n", string(item))
+	for _, p := range g.PredicatesOf(item) {
+		vals := g.Objects(item, p)
+		labels := make([]string, len(vals))
+		for i, v := range vals {
+			labels[i] = clip(g.TermLabel(v), 60)
+		}
+		fmt.Fprintf(w, "  %-22s %s\n", clip(g.Label(p), 22), strings.Join(labels, ", "))
+	}
+}
+
+// Collection writes a numbered listing of up to max items.
+func Collection(w io.Writer, g *rdf.Graph, items []rdf.IRI, max int) {
+	fmt.Fprintf(w, "%d items\n", len(items))
+	for i, it := range items {
+		if max > 0 && i >= max {
+			fmt.Fprintf(w, "  ... %d more\n", len(items)-max)
+			return
+		}
+		fmt.Fprintf(w, "  %3d. %s\n", i+1, g.Label(it))
+	}
+}
+
+// Histogram writes the Figure 5 range widget preview: two slider ends and
+// hatch marks proportional to bucket occupancy.
+func Histogram(w io.Writer, label string, h facets.Histogram) {
+	fmt.Fprintf(w, "%s: %g — %g  (%d items)\n", label, h.Min, h.Max, h.Count)
+	maxBucket := 0
+	for _, b := range h.Buckets {
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	var marks strings.Builder
+	for _, b := range h.Buckets {
+		marks.WriteByte(" .:|#"[hatchLevel(b, maxBucket)])
+	}
+	fmt.Fprintf(w, "  ◄[%s]►\n", marks.String())
+}
+
+func hatchLevel(b, max int) int {
+	if b == 0 || max == 0 {
+		return 0
+	}
+	l := 1 + 3*b/max
+	if l > 4 {
+		l = 4
+	}
+	return l
+}
+
+func bar(count, total, width int) string {
+	if total <= 0 || count <= 0 {
+		return ""
+	}
+	n := count * width / total
+	if n == 0 {
+		n = 1
+	}
+	return strings.Repeat("▪", n)
+}
+
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}

@@ -1,0 +1,151 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference pairs from Porter's published vocabulary examples.
+func TestStemReferencePairs(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		{"happy", "happi"},
+		{"sky", "sky"},
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"hesitanci", "hesit"},
+		{"digitizer", "digit"},
+		{"conformabli", "conform"},
+		{"radicalli", "radic"},
+		{"differentli", "differ"},
+		{"vileli", "vile"},
+		{"analogousli", "analog"},
+		{"vietnamization", "vietnam"},
+		{"predication", "predic"},
+		{"operator", "oper"},
+		{"feudalism", "feudal"},
+		{"decisiveness", "decis"},
+		{"hopefulness", "hope"},
+		{"callousness", "callous"},
+		{"formaliti", "formal"},
+		{"sensitiviti", "sensit"},
+		{"sensibiliti", "sensibl"},
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electriciti", "electr"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"gyroscopic", "gyroscop"},
+		{"adjustable", "adjust"},
+		{"defensible", "defens"},
+		{"irritant", "irrit"},
+		{"replacement", "replac"},
+		{"adjustment", "adjust"},
+		{"dependent", "depend"},
+		{"adoption", "adopt"},
+		{"homologou", "homolog"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"angulariti", "angular"},
+		{"homologous", "homolog"},
+		{"effective", "effect"},
+		{"bowdlerize", "bowdler"},
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+		// Domain words from the paper's datasets.
+		{"ingredients", "ingredi"},
+		{"recipes", "recip"},
+		{"cooking", "cook"},
+		{"walnuts", "walnut"},
+		{"estimation", "estim"},
+		{"retrieval", "retriev"},
+	}
+	for _, tt := range tests {
+		if got := Stem(tt.in); got != tt.want {
+			t.Errorf("Stem(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"", "a", "be", "café", "naïve", "c3po"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Property: stemming is idempotent for pure ASCII words — a second
+// application never changes the result further... Porter is not strictly
+// idempotent in theory for all inputs, but it is for stems it produces on
+// lowercase letter-only input; we check on a realistic corpus instead of
+// arbitrary strings.
+func TestStemIdempotentOnCorpus(t *testing.T) {
+	corpus := []string{
+		"generalization", "abilities", "happiness", "running", "flies",
+		"denied", "agreement", "disappointed", "traditional", "references",
+		"probabilistic", "maximization", "searching",
+		"navigation", "collections", "refinements", "similarity",
+	}
+	for _, w := range corpus {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not idempotent: %q → %q → %q", w, once, twice)
+		}
+	}
+}
+
+// Property: stems never grow longer than the input plus one ('e' can be
+// restored), and are always non-empty for non-empty letter input.
+func TestQuickStemBounds(t *testing.T) {
+	f := func(raw string) bool {
+		// Build a lowercase letter-only word from the raw string.
+		w := make([]byte, 0, len(raw))
+		for _, r := range raw {
+			if r >= 'a' && r <= 'z' {
+				w = append(w, byte(r))
+			}
+		}
+		word := string(w)
+		got := Stem(word)
+		if word == "" {
+			return got == ""
+		}
+		return got != "" && len(got) <= len(word)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package web
+
+import "html/template"
+
+// funcs available inside all templates.
+var tmplFuncs = template.FuncMap{"esc": escape}
+
+const baseCSS = `<style>
+body{font-family:system-ui,sans-serif;margin:0;display:flex;min-height:100vh}
+nav{width:22rem;background:#f4f1ea;padding:1rem;border-right:1px solid #ddd;flex-shrink:0}
+main{padding:1rem 2rem;flex-grow:1}
+h1{font-size:1.2rem;margin:.2rem 0 .8rem}
+h2{font-size:.95rem;border-bottom:1px solid #c8bfa8;padding-bottom:.2rem;margin:1rem 0 .4rem}
+h3{font-size:.85rem;margin:.6rem 0 .2rem;color:#555}
+ul{list-style:none;padding-left:.4rem;margin:.2rem 0}
+li{margin:.15rem 0;font-size:.9rem}
+.constraint{background:#fff;border:1px solid #ccc;border-radius:4px;padding:.15rem .4rem;display:inline-block;margin:.1rem}
+.constraint a{text-decoration:none;color:#a33;margin-left:.3rem}
+.detail{color:#888;font-size:.8rem}
+.bar{background:#7a9;display:inline-block;height:.7rem;vertical-align:middle}
+.modes a{font-size:.75rem;color:#777;margin-left:.25rem;text-decoration:none}
+form.search input[type=text]{width:12rem}
+table{border-collapse:collapse}td{padding:.1rem .5rem;font-size:.9rem;vertical-align:top}
+a{color:#236}
+</style>`
+
+const searchBar = `<form class="search" id="search" action="/search" method="get">
+<input type="text" name="q" placeholder="keywords"><button>Search</button></form>
+<p><a href="/home">all items</a> · <a href="/back">⟲ back</a> · <a href="/overview">overview</a></p>`
+
+// collectionTemplate renders the Figure 1 layout: constraints, results,
+// navigation pane.
+var collectionTemplate = template.Must(template.New("collection").Funcs(tmplFuncs).Parse(
+	`<!doctype html><title>{{.Title}}</title>` + baseCSS + `
+<nav>
+<h1>{{.Title}}</h1>` + searchBar + `
+<h2>Query</h2>
+{{if .Constraints}}{{range .Constraints}}
+<span class="constraint">{{.Text}}
+<a href="/rm?i={{.Index}}" title="remove">✕</a>
+<a href="/neg?i={{.Index}}" title="negate">¬</a></span>
+{{end}}{{else}}<span class="detail">(all items)</span>{{end}}
+{{range .Sections}}
+<h2>{{.Advisor}}</h2>
+{{range .Groups}}{{if .Title}}<h3>{{.Title}}</h3>{{end}}
+<ul>
+{{range .Suggestions}}<li><a href="/go?k={{.Key}}">{{.Title}}</a>
+{{if .Detail}}<span class="detail">({{.Detail}})</span>{{end}}
+{{if .IsRefine}}<span class="modes"><a href="/go?k={{.Key}}&mode=exclude">not</a><a href="/go?k={{.Key}}&mode=expand">or</a></span>{{end}}</li>
+{{end}}
+{{if .Omitted}}<li class="detail">… {{.Omitted}} more</li>{{end}}
+</ul>
+{{end}}{{end}}
+</nav>
+<main>
+<h2>{{.Total}} items</h2>
+<ul>
+{{range .Items}}<li><a href="/open?item={{.IRI}}">{{.Label}}</a></li>{{end}}
+{{if gt .Total (len .Items)}}<li class="detail">… showing first {{len .Items}}</li>{{end}}
+</ul>
+</main>`))
+
+// itemTemplate renders an item card with navigable resource values.
+var itemTemplate = template.Must(template.New("item").Funcs(tmplFuncs).Parse(
+	`<!doctype html><title>{{.Label}}</title>` + baseCSS + `
+<nav><h1>{{.Label}}</h1>` + searchBar + `<p class="detail">{{.IRI}}</p>
+<p><a href="/">← to collection &amp; suggestions</a></p></nav>
+<main>
+<h2>{{.Label}}</h2>
+<table>
+{{range .Attributes}}<tr><td><b>{{.Prop}}</b></td><td>
+{{range .Values}}{{if .IRI}}<a href="/open?item={{.IRI}}">{{.Label}}</a> {{else}}{{.Label}} {{end}}{{end}}
+</td></tr>{{end}}
+</table>
+{{if .Similar}}
+<h2>Similar by content</h2>
+<ul>
+{{range .Similar}}<li><a href="/open?item={{.IRI}}">{{.Label}}</a>
+<span class="detail">{{.Score}} — {{.Why}}</span></li>{{end}}
+</ul>
+{{end}}
+</main>`))
+
+// overviewTemplate renders the Figure 2 facet overview with count bars.
+var overviewTemplate = template.Must(template.New("overview").Funcs(tmplFuncs).Parse(
+	`<!doctype html><title>Overview</title>` + baseCSS + `
+<nav><h1>Overview</h1>` + searchBar + `<p><a href="/">← back to collection</a></p></nav>
+<main>
+<h2>Overview of {{.Total}} items</h2>
+{{range .Facets}}
+<h3>{{.Label}} <span class="detail">({{.Distinct}} values)</span></h3>
+<table>
+{{range .Values}}<tr><td><a href="/refine?prop={{.Prop}}&vk={{.Key}}">{{.Label}}</a></td>
+<td>{{.Count}}</td>
+<td><span class="bar" style="width:{{.Width}}px"></span></td></tr>{{end}}
+</table>
+{{end}}
+</main>`))
+
+// rangeTemplate renders the Figure 5 range widget: histogram preview plus a
+// bounds form.
+var rangeTemplate = template.Must(template.New("range").Funcs(tmplFuncs).Parse(
+	`<!doctype html><title>{{.Title}}</title>` + baseCSS + `
+<nav><h1>{{.Title}}</h1>` + searchBar + `<p><a href="/">← back</a></p></nav>
+<main>
+<h2>{{.Title}}</h2>
+<p class="detail">observed range: {{.Min}} — {{.Max}}</p>
+<p>{{range .Buckets}}<span class="bar" style="width:8px;height:{{. }}px"></span> {{end}}</p>
+<form action="/range" method="get">
+<input type="hidden" name="prop" value="{{.Prop}}">
+from <input type="text" name="lo" value="{{.Min}}">
+to <input type="text" name="hi" value="{{.Max}}">
+<button>Apply range</button>
+</form>
+</main>`))

@@ -1,0 +1,471 @@
+// Package web serves Magnet's faceted navigation interface over HTTP — the
+// closest analogue to the paper's Haystack browser window (Figure 1): a
+// single page with the keyword toolbar, the current query's constraint list
+// (each removable and negatable), the result collection, and the advisors'
+// navigation pane; plus the large-collection overview (Figure 2), item
+// cards, and range widgets (Figure 5). Handlers are plain net/http and
+// html/template, one browsing session per cookie.
+package web
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"html/template"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"magnet/internal/blackboard"
+	"magnet/internal/core"
+	"magnet/internal/qlang"
+	"magnet/internal/query"
+	"magnet/internal/rdf"
+)
+
+// Server serves one Magnet instance to many browser sessions.
+type Server struct {
+	m   *core.Magnet
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+}
+
+// NewServer returns a server over m.
+func NewServer(m *core.Magnet) *Server {
+	s := &Server{
+		m:        m,
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*core.Session),
+	}
+	s.mux.HandleFunc("/", s.handleCollection)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/within", s.handleWithin)
+	s.mux.HandleFunc("/go", s.handleGo)
+	s.mux.HandleFunc("/open", s.handleOpen)
+	s.mux.HandleFunc("/rm", s.handleRemove)
+	s.mux.HandleFunc("/neg", s.handleNegate)
+	s.mux.HandleFunc("/back", s.handleBack)
+	s.mux.HandleFunc("/home", s.handleHome)
+	s.mux.HandleFunc("/overview", s.handleOverview)
+	s.mux.HandleFunc("/range", s.handleRange)
+	s.mux.HandleFunc("/refine", s.handleRefine)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+const sessionCookie = "magnet_session"
+
+// session returns the request's browsing session, creating one (and setting
+// the cookie) on first contact. All navigation is serialized under the
+// server mutex: core.Session models a single user and is not concurrent.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *core.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, err := r.Cookie(sessionCookie); err == nil {
+		if sess, ok := s.sessions[c.Value]; ok {
+			return sess
+		}
+	}
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		panic("web: crypto/rand unavailable: " + err.Error())
+	}
+	id := hex.EncodeToString(buf)
+	sess := s.m.NewSession()
+	s.sessions[id] = sess
+	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: id, Path: "/"})
+	return sess
+}
+
+// withSession runs fn under the server lock and redirects to the
+// collection page afterwards.
+func (s *Server) navigate(w http.ResponseWriter, r *http.Request, fn func(*core.Session)) {
+	sess := s.session(w, r)
+	s.mu.Lock()
+	fn(sess)
+	s.mu.Unlock()
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// handleSearch accepts plain keywords or, when the input carries structured
+// operators, the qlang query language (cuisine = Greek AND servings >= 4).
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.FormValue("q")
+	s.navigate(w, r, func(sess *core.Session) {
+		if strings.ContainsAny(q, "=:<>") {
+			res := qlang.NewResolver(s.m.Graph(), s.m.Schema())
+			if parsed, err := qlang.Parse(q, res); err == nil {
+				sess.Apply(blackboard.ReplaceQuery{Query: parsed})
+				return
+			}
+			// Fall back to keyword search on parse errors.
+		}
+		sess.Search(q)
+	})
+}
+
+func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
+	q := r.FormValue("q")
+	s.navigate(w, r, func(sess *core.Session) { sess.SearchWithin(q) })
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	item := rdf.IRI(r.FormValue("item"))
+	if !s.m.Graph().HasSubject(item) {
+		http.NotFound(w, r)
+		return
+	}
+	sess := s.session(w, r)
+	s.mu.Lock()
+	sess.OpenItem(item)
+	data := s.itemData(sess, item)
+	s.mu.Unlock()
+	renderTemplate(w, itemTemplate, data)
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.FormValue("i"))
+	if err != nil {
+		http.Error(w, "rm: bad constraint index", http.StatusBadRequest)
+		return
+	}
+	s.navigate(w, r, func(sess *core.Session) { sess.RemoveConstraint(i) })
+}
+
+func (s *Server) handleNegate(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.FormValue("i"))
+	if err != nil {
+		http.Error(w, "neg: bad constraint index", http.StatusBadRequest)
+		return
+	}
+	s.navigate(w, r, func(sess *core.Session) { sess.NegateConstraint(i) })
+}
+
+func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
+	s.navigate(w, r, func(sess *core.Session) { sess.Back() })
+}
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	s.navigate(w, r, func(sess *core.Session) { sess.GoHome() })
+}
+
+// handleGo applies a pane suggestion identified by its stable key, with an
+// optional mode (filter/exclude/expand) — the context-menu operations.
+func (s *Server) handleGo(w http.ResponseWriter, r *http.Request) {
+	key := r.FormValue("k")
+	mode := r.FormValue("mode")
+	sess := s.session(w, r)
+	s.mu.Lock()
+	var found *blackboard.Suggestion
+	for _, sg := range sess.Board().Suggestions() {
+		if sg.Key == key {
+			found = &sg
+			break
+		}
+	}
+	if found == nil {
+		s.mu.Unlock()
+		http.Error(w, "suggestion expired; go back and retry", http.StatusGone)
+		return
+	}
+	action := found.Action
+	if ref, ok := action.(blackboard.Refine); ok {
+		switch mode {
+		case "exclude":
+			ref.Mode = blackboard.Exclude
+		case "expand":
+			ref.Mode = blackboard.Expand
+		}
+		action = ref
+	}
+	if rng, ok := action.(blackboard.ShowRange); ok {
+		data := s.rangeData(found.Title, rng)
+		s.mu.Unlock()
+		renderTemplate(w, rangeTemplate, data)
+		return
+	}
+	if _, ok := action.(blackboard.ShowSearch); ok {
+		s.mu.Unlock()
+		http.Redirect(w, r, "/#search", http.StatusSeeOther)
+		return
+	}
+	if _, ok := action.(blackboard.ShowOverview); ok {
+		s.mu.Unlock()
+		http.Redirect(w, r, "/overview", http.StatusSeeOther)
+		return
+	}
+	err := sess.Apply(action)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	prop := rdf.IRI(r.FormValue("prop"))
+	parse := func(name string) (*float64, bool) {
+		v := r.FormValue(name)
+		if v == "" {
+			return nil, true
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, false
+		}
+		return &f, true
+	}
+	lo, ok1 := parse("lo")
+	hi, ok2 := parse("hi")
+	if !ok1 || !ok2 {
+		http.Error(w, "range: bounds must be numbers", http.StatusBadRequest)
+		return
+	}
+	s.navigate(w, r, func(sess *core.Session) { sess.ApplyRange(prop, lo, hi) })
+}
+
+// handleRefine applies a direct property/value refinement — the Figure 2
+// overview's clickable values ("Users can click and select a refinement
+// option, such as Greek cuisine", §3.1). The value travels as a canonical
+// term key; mode may be exclude/expand.
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	prop := rdf.IRI(r.FormValue("prop"))
+	term, ok := rdf.ParseTermKey(r.FormValue("vk"))
+	if prop == "" || !ok {
+		http.Error(w, "refine: need prop and a valid value key", http.StatusBadRequest)
+		return
+	}
+	mode := blackboard.Filter
+	switch r.FormValue("mode") {
+	case "exclude":
+		mode = blackboard.Exclude
+	case "expand":
+		mode = blackboard.Expand
+	}
+	s.navigate(w, r, func(sess *core.Session) {
+		sess.Refine(query.Property{Prop: prop, Value: term}, mode)
+	})
+}
+
+func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	s.mu.Lock()
+	data := s.overviewData(sess)
+	s.mu.Unlock()
+	renderTemplate(w, overviewTemplate, data)
+}
+
+func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	sess := s.session(w, r)
+	s.mu.Lock()
+	data := s.collectionData(sess)
+	s.mu.Unlock()
+	renderTemplate(w, collectionTemplate, data)
+}
+
+// ------------------------------------------------------------ view data --
+
+type constraintView struct {
+	Index int
+	Text  string
+}
+
+type itemLink struct {
+	IRI   string
+	Label string
+}
+
+type suggestionView struct {
+	Key      string
+	Title    string
+	Detail   string
+	IsRefine bool
+}
+
+type groupView struct {
+	Title       string
+	Suggestions []suggestionView
+	Omitted     int
+}
+
+type sectionView struct {
+	Advisor string
+	Groups  []groupView
+}
+
+type collectionView struct {
+	Title       string
+	Constraints []constraintView
+	Items       []itemLink
+	Total       int
+	Sections    []sectionView
+}
+
+func (s *Server) collectionData(sess *core.Session) collectionView {
+	pane := sess.Pane()
+	data := collectionView{Title: "Magnet"}
+	if v := sess.Current(); v.Fixed {
+		data.Title = v.Name
+	}
+	for i, c := range pane.Constraints {
+		data.Constraints = append(data.Constraints, constraintView{i, c})
+	}
+	items := sess.Items()
+	data.Total = len(items)
+	if len(items) > 40 {
+		items = items[:40]
+	}
+	for _, it := range items {
+		data.Items = append(data.Items, itemLink{string(it), s.m.Label(it)})
+	}
+	for _, sec := range pane.Sections {
+		sv := sectionView{Advisor: sec.Advisor}
+		for _, g := range sec.Groups {
+			gv := groupView{Title: g.Title, Omitted: g.Omitted}
+			for _, sg := range g.Suggestions {
+				_, isRefine := sg.Action.(blackboard.Refine)
+				gv.Suggestions = append(gv.Suggestions, suggestionView{
+					Key: sg.Key, Title: sg.Title, Detail: sg.Detail, IsRefine: isRefine,
+				})
+			}
+			sv.Groups = append(sv.Groups, gv)
+		}
+		data.Sections = append(data.Sections, sv)
+	}
+	return data
+}
+
+type attributeView struct {
+	Prop   string
+	Values []itemLink
+}
+
+type similarView struct {
+	IRI   string
+	Label string
+	Score string
+	Why   string
+}
+
+type itemView struct {
+	Label      string
+	IRI        string
+	Attributes []attributeView
+	Similar    []similarView
+}
+
+func (s *Server) itemData(sess *core.Session, item rdf.IRI) itemView {
+	g := s.m.Graph()
+	data := itemView{Label: s.m.Label(item), IRI: string(item)}
+	for _, p := range g.PredicatesOf(item) {
+		av := attributeView{Prop: s.m.Label(p)}
+		for _, v := range g.Objects(item, p) {
+			link := itemLink{Label: g.TermLabel(v)}
+			if iri, ok := v.(rdf.IRI); ok && g.HasSubject(iri) {
+				link.IRI = string(iri)
+			}
+			av.Values = append(av.Values, link)
+		}
+		data.Attributes = append(data.Attributes, av)
+	}
+	// Similar items with inspectable explanations (the "Overall" fuzzy
+	// match, each annotated with its top shared coordinates).
+	for _, sc := range s.m.Model().SimilarToItem(item, 6) {
+		why := s.m.ExplainSimilarityText(item, sc.Item, 3)
+		data.Similar = append(data.Similar, similarView{
+			IRI:   string(sc.Item),
+			Label: s.m.Label(sc.Item),
+			Score: fmt.Sprintf("%.2f", sc.Score),
+			Why:   strings.Join(why, " · "),
+		})
+	}
+	return data
+}
+
+type facetValueView struct {
+	Label string
+	Count int
+	Width int
+	// Prop and Key make the value clickable as a refinement.
+	Prop string
+	Key  string
+}
+
+type facetView struct {
+	Label    string
+	Distinct int
+	Values   []facetValueView
+}
+
+type overviewView struct {
+	Total  int
+	Facets []facetView
+}
+
+func (s *Server) overviewData(sess *core.Session) overviewView {
+	fs := sess.Overview(8)
+	data := overviewView{Total: len(sess.Items())}
+	for _, f := range fs {
+		fv := facetView{Label: f.Label, Distinct: f.Distinct}
+		if !f.Labeled {
+			fv.Label = string(f.Prop)
+		}
+		for _, v := range f.Values {
+			width := 0
+			if data.Total > 0 {
+				width = v.Count * 100 / data.Total
+			}
+			if width < 2 {
+				width = 2
+			}
+			fv.Values = append(fv.Values, facetValueView{
+				Label: v.Label, Count: v.Count, Width: width,
+				Prop: string(f.Prop), Key: v.Term.Key(),
+			})
+		}
+		data.Facets = append(data.Facets, fv)
+	}
+	return data
+}
+
+type rangeView struct {
+	Title   string
+	Prop    string
+	Min     float64
+	Max     float64
+	Buckets []int
+}
+
+func (s *Server) rangeData(title string, act blackboard.ShowRange) rangeView {
+	return rangeView{
+		Title:   title,
+		Prop:    string(act.Prop),
+		Min:     act.Histogram.Min,
+		Max:     act.Histogram.Max,
+		Buckets: act.Histogram.Buckets,
+	}
+}
+
+func renderTemplate(w http.ResponseWriter, t *template.Template, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := t.Execute(w, data); err != nil {
+		// Headers already sent; log-equivalent via trailer comment.
+		fmt.Fprintf(w, "<!-- template error: %v -->", err)
+	}
+}
+
+// escape helps templates build URLs.
+func escape(s string) string { return url.QueryEscape(s) }

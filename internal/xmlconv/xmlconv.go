@@ -1,0 +1,124 @@
+// Package xmlconv converts XML documents into RDF graphs, the bridge the
+// paper relies on for the INEX evaluation (§6.2). The mapping follows the
+// "natural mappings from RDF to XML and back" the paper mentions: each
+// element becomes a resource typed by its element name; attributes and
+// child elements become properties named by their tags; character data
+// becomes a text property. Because XML is a finite tree, the converter
+// stamps the graph with the tree-shape annotation, licensing Magnet's
+// deeper attribute compositions ("Telling Magnet that the information is
+// structured as a tree ... would have provided a cleaner interface").
+package xmlconv
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"magnet/internal/rdf"
+	"magnet/internal/schema"
+)
+
+// TextProp is the property holding an element's character data.
+func TextProp(ns string) rdf.IRI { return rdf.IRI(ns + "text") }
+
+// ElementClass returns the rdf:type IRI for an element name.
+func ElementClass(ns, tag string) rdf.IRI { return rdf.IRI(ns + "element/" + tag) }
+
+// Prop returns the property IRI for a child-element or attribute name.
+func Prop(ns, name string) rdf.IRI { return rdf.IRI(ns + "prop/" + name) }
+
+// Options tunes the conversion.
+type Options struct {
+	// NS prefixes all generated IRIs; required.
+	NS string
+	// KeepWhitespaceText keeps whitespace-only character data (dropped by
+	// default).
+	KeepWhitespaceText bool
+	// SkipTreeAnnotation omits the tree-shape annotation (for the §6.2
+	// ablation showing compositions stop at the default depth).
+	SkipTreeAnnotation bool
+}
+
+// Convert parses one XML document from r into g, returning the root
+// element's resource. Element resources are numbered in document order, so
+// conversion is deterministic.
+func Convert(g *rdf.Graph, r io.Reader, opts Options) (rdf.IRI, error) {
+	if opts.NS == "" {
+		return "", fmt.Errorf("xmlconv: Options.NS is required")
+	}
+	dec := xml.NewDecoder(r)
+	c := &converter{g: g, opts: opts}
+	root, err := c.document(dec)
+	if err != nil {
+		return "", err
+	}
+	if !opts.SkipTreeAnnotation {
+		schema.NewStore(g).SetTreeShaped()
+	}
+	return root, nil
+}
+
+type converter struct {
+	g    *rdf.Graph
+	opts Options
+	n    int
+}
+
+func (c *converter) newNode(tag string) rdf.IRI {
+	c.n++
+	return rdf.IRI(fmt.Sprintf("%snode/%d-%s", c.opts.NS, c.n, tag))
+}
+
+// document skips prolog tokens and converts the root element.
+func (c *converter) document(dec *xml.Decoder) (rdf.IRI, error) {
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return "", fmt.Errorf("xmlconv: no root element")
+		}
+		if err != nil {
+			return "", fmt.Errorf("xmlconv: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			return c.element(dec, start)
+		}
+	}
+}
+
+// element converts one element and its subtree.
+func (c *converter) element(dec *xml.Decoder, start xml.StartElement) (rdf.IRI, error) {
+	node := c.newNode(start.Name.Local)
+	c.g.Add(node, rdf.Type, ElementClass(c.opts.NS, start.Name.Local))
+	for _, attr := range start.Attr {
+		c.g.Add(node, Prop(c.opts.NS, attr.Name.Local), rdf.NewString(attr.Value))
+	}
+	var textParts []string
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("xmlconv: inside <%s>: %w", start.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := c.element(dec, t)
+			if err != nil {
+				return "", err
+			}
+			c.g.Add(node, Prop(c.opts.NS, t.Name.Local), child)
+		case xml.CharData:
+			s := string(t)
+			if !c.opts.KeepWhitespaceText {
+				s = strings.TrimSpace(s)
+			}
+			if s != "" {
+				textParts = append(textParts, s)
+			}
+		case xml.EndElement:
+			if len(textParts) > 0 {
+				c.g.Add(node, TextProp(c.opts.NS), rdf.NewString(strings.Join(textParts, " ")))
+			}
+			return node, nil
+		}
+	}
+}
