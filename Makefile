@@ -1,0 +1,35 @@
+# Correctness gate for the Magnet reproduction. `make check` is what CI
+# runs: build, tests, go vet, the repo's own magnet-vet analyzers, the race
+# detector, and short fuzz passes over the parser and tokenizer.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet magnet-vet fuzz check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The project's own static analyzers (internal/analysis): locking
+# discipline, float equality, error wrapping, map-iteration determinism,
+# context-first signatures. Exits non-zero on any finding.
+magnet-vet:
+	$(GO) run ./cmd/magnet-vet ./...
+
+# Short fuzz passes over every fuzz target; bump FUZZTIME for a deeper run.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/qlang/
+	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/text/
+	$(GO) test -run='^$$' -fuzz=FuzzStem -fuzztime=$(FUZZTIME) ./internal/text/
+	$(GO) test -run='^$$' -fuzz=FuzzReadNTriples -fuzztime=$(FUZZTIME) ./internal/rdf/
+
+check: build vet magnet-vet test race fuzz

@@ -73,7 +73,10 @@ func inboxMagnet() *core.Magnet {
 
 func statesMagnet() *core.Magnet {
 	statesOnce.Do(func() {
-		g := states.Build()
+		g, err := states.Build()
+		if err != nil {
+			panic(err) // test-only helper outside any *testing.B
+		}
 		states.Annotate(g)
 		statesM = core.Open(g, core.Options{IndexAllSubjects: true})
 	})
@@ -510,7 +513,10 @@ func schemaOf(g *rdf.Graph) *schema.Store { return schema.NewStore(g) }
 // BenchmarkAutoAnnotate (E13): the §7 future-work annotation advisor over
 // the raw 50-states CSV.
 func BenchmarkAutoAnnotate(b *testing.B) {
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	var n int
 	for i := 0; i < b.N; i++ {

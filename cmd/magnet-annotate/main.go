@@ -78,7 +78,7 @@ func load(dataset, file string) (*rdf.Graph, error) {
 	}
 	switch dataset {
 	case "states":
-		return states.Build(), nil
+		return states.Build()
 	case "factbook":
 		return factbook.Build(factbook.Config{}), nil
 	case "artstor":

@@ -30,6 +30,26 @@ import (
 	"magnet/internal/render"
 )
 
+// apply performs a navigation action, aborting the run on failure: every
+// step below depends on the resulting view.
+// statesGraph builds the embedded 50-states dataset, exiting on the
+// (compile-time-impossible) parse failure rather than panicking.
+func statesGraph() *rdf.Graph {
+	g, err := states.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "magnet-eval: %v\n", err)
+		os.Exit(1)
+	}
+	return g
+}
+
+func apply(s *core.Session, a blackboard.Action) {
+	if err := s.Apply(a); err != nil {
+		fmt.Fprintf(os.Stderr, "apply: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1, fig2, fig5, fig6, fig7, fig8, factbook, courses, or all")
 	nRecipes := flag.Int("recipes", 6444, "recipe corpus size")
@@ -74,7 +94,7 @@ func fig1(n int, seed int64) {
 	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
 	m := core.Open(g, core.Options{})
 	s := m.NewSession()
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(
 		query.TypeIs(recipes.ClassRecipe),
 		query.Property{Prop: recipes.PropCuisine, Value: recipes.Cuisine("Greek")},
 		query.Property{Prop: recipes.PropIngredient, Value: recipes.Ingredient("Parsley")},
@@ -100,7 +120,7 @@ func fig2(n int, seed int64) {
 	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
 	m := core.Open(g, core.Options{})
 	s := m.NewSession()
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(recipes.ClassRecipe))})
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(recipes.ClassRecipe))})
 	fs := s.Overview(6)
 	render.Overview(os.Stdout, fs, len(s.Items()))
 
@@ -122,7 +142,7 @@ func fig5(int, int64) {
 	g := inbox.Build(inbox.Config{})
 	m := core.Open(g, core.Options{})
 	s := m.NewSession()
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
 		query.TypeIs(inbox.ClassMessage), query.TypeIs(inbox.ClassNewsItem),
 	}})})
 	h, ok := facets.NumericHistogram(m.Graph(), s.Items(), inbox.PropSent, 24)
@@ -145,7 +165,7 @@ func fig6(int, int64) {
 	g := inbox.Build(inbox.Config{})
 	m := core.Open(g, core.Options{})
 	s := m.NewSession()
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
 		query.TypeIs(inbox.ClassMessage), query.TypeIs(inbox.ClassNewsItem),
 	}})})
 	pane := s.Pane()
@@ -181,7 +201,7 @@ func fig6(int, int64) {
 // identifiers, and the 'cardinal' word suggestion leading to 7 states.
 func fig7(int, int64) {
 	header("E6 / Figure 7 — 50 states as given (no annotations)")
-	g := states.Build()
+	g := statesGraph()
 	m := core.Open(g, core.Options{IndexAllSubjects: true})
 	s := m.NewSession()
 	fs := s.Overview(4)
@@ -199,7 +219,7 @@ func fig7(int, int64) {
 	for _, sg := range s.Board().Suggestions() {
 		if act, ok := sg.Action.(blackboard.Refine); ok {
 			if tm, ok := act.Add.(query.TermMatch); ok && tm.Display == "cardinal" {
-				s.Apply(sg.Action)
+				apply(s, sg.Action)
 				cardinal = len(s.Items())
 				break
 			}
@@ -213,7 +233,7 @@ func fig7(int, int64) {
 // annotations — readable labels, an area range widget, Alaska the outlier.
 func fig8(int, int64) {
 	header("E7 / Figure 8 — 50 states with label and value-type annotations")
-	g := states.Build()
+	g := statesGraph()
 	states.Annotate(g)
 	m := core.Open(g, core.Options{IndexAllSubjects: true})
 	s := m.NewSession()
@@ -279,7 +299,7 @@ func coursesExp(int, int64) {
 		g := courses.Build(courses.Config{HideCatalogKey: hide})
 		m := core.Open(g, core.Options{})
 		s := m.NewSession()
-		s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(courses.ClassCourse))})
+		apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(courses.ClassCourse))})
 		n := 0
 		for _, sg := range s.Board().Suggestions() {
 			if act, ok := sg.Action.(blackboard.Refine); ok {
@@ -327,7 +347,7 @@ func coursesExp(int, int64) {
 // interface automatically — no schema expert in the loop.
 func autoAnnotateExp(int, int64) {
 	header("E13 — automated annotation inference (§7 future work)")
-	g := states.Build()
+	g := statesGraph()
 	proposals := annotate.Advise(g, annotate.Config{})
 	for _, p := range proposals {
 		fmt.Printf("  [%-10s] %s\n", p.Kind, p.Describe(g.Label))

@@ -65,7 +65,10 @@ func load(dataset, file string, nRecipes int) (*rdf.Graph, bool, error) {
 	case "recipes":
 		return recipes.Build(recipes.Config{Recipes: nRecipes}), false, nil
 	case "states":
-		g := states.Build()
+		g, err := states.Build()
+		if err != nil {
+			return nil, false, err
+		}
 		states.Annotate(g)
 		return g, true, nil
 	case "factbook":

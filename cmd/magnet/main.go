@@ -82,7 +82,10 @@ func load(dataset, file string, nRecipes int, seed int64, annotate bool) (*rdf.G
 	case "recipes":
 		return recipes.Build(recipes.Config{Recipes: nRecipes, Seed: seed, SkipAnnotations: !annotate}), false, nil
 	case "states":
-		g := states.Build()
+		g, err := states.Build()
+		if err != nil {
+			return nil, false, err
+		}
 		if annotate {
 			states.Annotate(g)
 		}

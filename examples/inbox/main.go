@@ -18,13 +18,22 @@ import (
 	"magnet/internal/render"
 )
 
+// apply performs a navigation action, aborting the run on failure: every
+// step below depends on the resulting view.
+func apply(s *core.Session, a blackboard.Action) {
+	if err := s.Apply(a); err != nil {
+		fmt.Fprintf(os.Stderr, "apply: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	g := inbox.Build(inbox.Config{})
 	m := core.Open(g, core.Options{})
 	s := m.NewSession()
 
 	// View the whole inbox: both document types.
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
 		query.TypeIs(inbox.ClassMessage),
 		query.TypeIs(inbox.ClassNewsItem),
 	}})})

@@ -18,13 +18,22 @@ import (
 	"magnet/internal/render"
 )
 
+// apply performs a navigation action, aborting the run on failure: every
+// step below depends on the resulting view.
+func apply(s *core.Session, a blackboard.Action) {
+	if err := s.Apply(a); err != nil {
+		fmt.Fprintf(os.Stderr, "apply: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	g := recipes.Build(recipes.Config{Recipes: 2000})
 	m := core.Open(g, core.Options{})
 	s := m.NewSession()
 
 	// Figure 1: type=Recipe ∧ cuisine=Greek ∧ ingredient=Parsley.
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(
 		query.TypeIs(recipes.ClassRecipe),
 		query.Property{Prop: recipes.PropCuisine, Value: recipes.Cuisine("Greek")},
 		query.Property{Prop: recipes.PropIngredient, Value: recipes.Ingredient("Parsley")},
@@ -35,7 +44,7 @@ func main() {
 	render.Pane(os.Stdout, s.Pane(), false)
 
 	// Figure 2: the large-collection overview.
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(recipes.ClassRecipe))})
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(recipes.ClassRecipe))})
 	fmt.Println("\n=== Figure 2: facet overview of all recipes ===")
 	render.Overview(os.Stdout, s.Overview(4), len(s.Items()))
 
@@ -59,7 +68,7 @@ func main() {
 	s.OpenItem(target)
 	for _, sg := range s.Board().Suggestions() {
 		if sg.Group == "Similar by Content" {
-			s.Apply(sg.Action)
+			apply(s, sg.Action)
 			break
 		}
 	}

@@ -20,9 +20,22 @@ import (
 	"magnet/internal/render"
 )
 
+// apply performs a navigation action, aborting the run on failure: every
+// step below depends on the resulting view.
+func apply(s *core.Session, a blackboard.Action) {
+	if err := s.Apply(a); err != nil {
+		fmt.Fprintf(os.Stderr, "apply: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	// --- As given (Figure 7): no labels, everything a string. ---
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "states: %v\n", err)
+		os.Exit(1)
+	}
 	m := core.Open(g, core.Options{IndexAllSubjects: true})
 	s := m.NewSession()
 
@@ -33,7 +46,7 @@ func main() {
 	for _, sg := range s.Board().Suggestions() {
 		if act, ok := sg.Action.(blackboard.Refine); ok {
 			if tm, ok := act.Add.(query.TermMatch); ok && tm.Display == "cardinal" {
-				s.Apply(sg.Action)
+				apply(s, sg.Action)
 				break
 			}
 		}

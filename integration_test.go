@@ -97,7 +97,10 @@ func TestJourneyRecipes(t *testing.T) {
 // TestJourneyStatesAutoAnnotate goes raw CSV → automatic annotations →
 // range navigation, the E6+E13 path end to end.
 func TestJourneyStatesAutoAnnotate(t *testing.T) {
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	annotate.Apply(g, annotate.Advise(g, annotate.Config{}))
 	m := core.Open(g, core.Options{IndexAllSubjects: true})
 	s := m.NewSession()

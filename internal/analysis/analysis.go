@@ -1,0 +1,187 @@
+// Package analysis implements magnet-vet, Magnet's own static-analysis
+// suite. It encodes the repository's correctness invariants — the locking
+// discipline of the blackboard and its neighbours, float comparison rules in
+// scoring code, error wrapping, deterministic ordering of advisor output,
+// context placement — as named analyzers with file:line diagnostics, the way
+// DataGuide-style structural summaries make semistructured invariants
+// machine-checkable instead of tribal.
+//
+// The package is deliberately standard-library only (go/ast, go/parser,
+// go/token, go/types): the module must stay dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check. Run inspects a package through the
+// Pass and reports findings.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Scope restricts the analyzer to files whose slash-separated path or
+	// package import path contains one of these substrings. Empty means
+	// every file.
+	Scope []string
+	// Run reports findings for one package.
+	Run func(*Pass)
+}
+
+// Pass hands one package to one analyzer and collects its diagnostics.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Files returns the package files the analyzer's scope admits.
+func (p *Pass) Files() []*ast.File {
+	if len(p.analyzer.Scope) == 0 {
+		return p.Pkg.Syntax
+	}
+	var out []*ast.File
+	for _, f := range p.Pkg.Syntax {
+		name := fileOf(p.Pkg.Fset, f)
+		for _, s := range p.analyzer.Scope {
+			if strings.Contains(name, s) || strings.Contains(p.Pkg.PkgPath, s) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func fileOf(fset *token.FileSet, f *ast.File) string {
+	return strings.ReplaceAll(fset.Position(f.Pos()).Filename, "\\", "/")
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e (nil when unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ignoreDirective marks lines carrying a "//magnet-vet:ignore [names...]"
+// comment; a bare directive silences every analyzer on that line.
+var ignoreDirective = regexp.MustCompile(`//magnet-vet:ignore\b(.*)`)
+
+// ignoredLines maps file → line → analyzer names ignored there (nil slice
+// means all analyzers).
+func ignoredLines(pkgs []*Package) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreDirective.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lines := out[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						out[pos.Filename] = lines
+					}
+					names := strings.Fields(m[1])
+					if len(names) == 0 {
+						lines[pos.Line] = nil
+					} else {
+						lines[pos.Line] = append(lines[pos.Line], names...)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Lines carrying a magnet-vet:ignore
+// directive for the reporting analyzer are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	ignored := ignoredLines(pkgs)
+	kept := diags[:0]
+	for _, d := range diags {
+		names, ok := ignored[d.Pos.Filename][d.Pos.Line]
+		if ok && (names == nil || contains(names, d.Analyzer)) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos.Filename != kept[j].Pos.Filename {
+			return kept[i].Pos.Filename < kept[j].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[j].Pos.Line {
+			return kept[i].Pos.Line < kept[j].Pos.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full magnet-vet analyzer set with its production scopes:
+// the locked-field check over the concurrent packages, float equality over
+// scoring/ranking code, error hygiene and map-iteration determinism
+// everywhere, and context placement over the web layer.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockedField(),
+		FloatEq("internal/vsm", "internal/core/rank.go"),
+		ErrWrap(),
+		MapIter(),
+		CtxFirst("internal/web"),
+	}
+}
+
+// Unscoped returns the analyzer set with every path scope removed — the
+// mode magnet-vet uses on an explicit directory (e.g. a fixture package),
+// where all invariants should apply regardless of location.
+func Unscoped() []*Analyzer {
+	return []*Analyzer{LockedField(), FloatEq(), ErrWrap(), MapIter(), CtxFirst()}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the standard context.Context placement on the exported
+// surface of the web layer: when an exported function or method takes a
+// context, it must be the first parameter. Anything else breaks the
+// ecosystem convention and makes cancellation plumbing error-prone.
+func CtxFirst(scope ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "ctx-first",
+		Doc:   "exported functions taking context.Context must take it first",
+		Scope: scope,
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files() {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+					continue
+				}
+				checkCtxFirst(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+func checkCtxFirst(pass *Pass, fd *ast.FuncDecl) {
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		// A field may declare several names; all share one type.
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, field.Type) && idx > 0 {
+			pass.Reportf(field.Pos(), "%s takes context.Context as parameter %d; context must come first", fd.Name.Name, idx+1)
+		}
+		idx += n
+	}
+}
+
+func isContextType(pass *Pass, expr ast.Expr) bool {
+	t := pass.TypeOf(expr)
+	return t != nil && t.String() == "context.Context"
+}

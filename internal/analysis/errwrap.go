@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces error hygiene: fmt.Errorf must wrap error operands with
+// %w (not flatten them with %v/%s, which severs errors.Is/As chains), and a
+// call whose only result is an error must not be discarded as a bare
+// statement (assign it, or `_ =` it to make the drop explicit).
+func ErrWrap() *Analyzer {
+	a := &Analyzer{
+		Name: "nonwrapped-error",
+		Doc:  "fmt.Errorf must use %w for error operands; lone error results must not be dropped",
+	}
+	a.Run = func(pass *Pass) {
+		errType := types.Universe.Lookup("error").Type()
+		errIface := errType.Underlying().(*types.Interface)
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkErrorf(pass, n, errIface)
+				case *ast.ExprStmt:
+					call, ok := n.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if t := pass.TypeOf(call); t != nil && types.Identical(t, errType) && !neverFails(pass, call) {
+						pass.Reportf(n.Pos(), "error result of %s is dropped; handle it or assign to _ explicitly", callName(call))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// neverFails reports whether call is a method on a writer documented to
+// always return a nil error (strings.Builder, bytes.Buffer), whose dropped
+// result is idiomatic rather than a bug.
+func neverFails(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv, ok := pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := recv.Recv().String()
+	return strings.HasSuffix(t, "strings.Builder") || strings.HasSuffix(t, "bytes.Buffer")
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error operand with %v
+// or %s instead of %w.
+func checkErrorf(pass *Pass, call *ast.CallExpr, errIface *types.Interface) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	args := call.Args[1:]
+	for i, verb := range formatVerbs(format) {
+		if i >= len(args) || (verb != 'v' && verb != 's') {
+			continue
+		}
+		t := pass.TypeOf(args[i])
+		if t != nil && types.Implements(t, errIface) {
+			pass.Reportf(args[i].Pos(), "fmt.Errorf formats an error with %%%c; use %%w to keep the chain inspectable", verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb letter of each argument-consuming directive
+// in a Printf-style format string, in order.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision and argument indexes.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids == and != between floating-point operands in
+// scoring/ranking code. tf·idf weights, cosine similarities and rank scores
+// go through enough arithmetic that exact equality is a latent bug (§5's
+// vector model is all accumulated float sums); comparisons must go through
+// the vsm.ApproxEqual epsilon helper instead.
+func FloatEq(scope ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "floateq",
+		Doc:   "no ==/!= on floating-point values in scoring code; use vsm.ApproxEqual",
+		Scope: scope,
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass.TypeOf(be.X)) && isFloat(pass.TypeOf(be.Y)) {
+					pass.Reportf(be.OpPos, "%s on float operands; use vsm.ApproxEqual (epsilon compare)", be.Op)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// guardedBy matches the locking-discipline annotation magnet-vet consumes:
+//
+//	mu sync.Mutex
+//	// guarded by mu
+//	sessions map[string]*core.Session
+//
+// (the annotation may be the field's doc comment or its line comment).
+var guardedBy = regexp.MustCompile(`guarded by (\w+)`)
+
+// LockedField enforces the documented locking discipline: a struct field
+// annotated "// guarded by <mu>" may only be accessed through its receiver
+// in methods that visibly acquire that mutex (a <recv>.<mu>.Lock() or
+// .RLock() call anywhere in the body) or that declare themselves
+// lock-inherited by the *Locked naming convention. It also rejects
+// annotations naming a mutex the struct does not have — a stale comment is
+// worse than none.
+func LockedField() *Analyzer {
+	a := &Analyzer{
+		Name: "lockedfield",
+		Doc:  "fields annotated 'guarded by <mu>' must be accessed under that mutex",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files() {
+			runLockedFieldFile(pass, f)
+		}
+	}
+	return a
+}
+
+// structGuards records, for one struct type, which fields are guarded by
+// which mutex field.
+type structGuards struct {
+	// guards maps field name → mutex field name.
+	guards map[string]string
+	// fields is the set of all field names (to validate annotations).
+	fields map[string]bool
+}
+
+func runLockedFieldFile(pass *Pass, f *ast.File) {
+	byStruct := make(map[string]structGuards)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		sg := structGuards{guards: make(map[string]string), fields: make(map[string]bool)}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				sg.fields[name.Name] = true
+			}
+		}
+		for _, field := range st.Fields.List {
+			mu := guardAnnotation(field)
+			if mu == "" {
+				continue
+			}
+			if !sg.fields[mu] {
+				pass.Reportf(field.Pos(), "field %s claims 'guarded by %s' but struct %s has no field %s",
+					fieldNames(field), mu, ts.Name.Name, mu)
+				continue
+			}
+			for _, name := range field.Names {
+				sg.guards[name.Name] = mu
+			}
+		}
+		if len(sg.guards) > 0 {
+			byStruct[ts.Name.Name] = sg
+		}
+		return true
+	})
+	if len(byStruct) == 0 {
+		return
+	}
+
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || fd.Body == nil {
+			continue
+		}
+		recvType := receiverTypeName(fd)
+		sg, ok := byStruct[recvType]
+		if !ok {
+			continue
+		}
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			continue // caller holds the lock by convention
+		}
+		recvName := receiverName(fd)
+		if recvName == "" {
+			continue // receiver unnamed: fields are unreachable
+		}
+		held := heldMutexes(fd.Body, recvName)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != recvName {
+				return true
+			}
+			mu, guarded := sg.guards[sel.Sel.Name]
+			if !guarded || held[mu] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but method %s accesses it without %s.%s.Lock()",
+				recvType, sel.Sel.Name, mu, fd.Name.Name, recvName, mu)
+			return true
+		})
+	}
+}
+
+// guardAnnotation returns the mutex named by a field's guarded-by comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedBy.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func fieldNames(field *ast.Field) string {
+	var names []string
+	for _, n := range field.Names {
+		names = append(names, n.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// receiverTypeName returns the base type name of a method receiver.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// heldMutexes returns the mutex field names for which body contains a
+// <recv>.<mu>.Lock() or <recv>.<mu>.RLock() call.
+func heldMutexes(body *ast.BlockStmt, recvName string) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName {
+			held[inner.Sel.Name] = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,22 @@
+// Package ctxfirst is a magnet-vet fixture: each violation line carries an
+// expectation comment, allowed patterns carry none.
+package ctxfirst
+
+import "context"
+
+func Misplaced(name string, ctx context.Context) {} // want "must come first"
+
+// context first is the allowed pattern.
+func Leading(ctx context.Context, name string) {}
+
+// functions without a context are out of scope.
+func NoContext(a, b int) {}
+
+// unexported functions are left alone.
+func internal(name string, ctx context.Context) {}
+
+type Client struct{}
+
+func (Client) Fetch(url string, ctx context.Context) {} // want "must come first"
+
+func (Client) Get(ctx context.Context, url string) {}

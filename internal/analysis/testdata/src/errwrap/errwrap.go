@@ -1,0 +1,59 @@
+// Package errwrap is a magnet-vet fixture: each violation line carries an
+// expectation comment, allowed patterns carry none.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func doThing() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func flattenV(err error) error {
+	return fmt.Errorf("open: %v", err) // want "use %w"
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("open: %s", err) // want "use %w"
+}
+
+// wrapping with %w is the allowed pattern.
+func wrapped(err error) error {
+	return fmt.Errorf("open: %w", err)
+}
+
+// %v on a non-error operand is fine.
+func notError() error {
+	return fmt.Errorf("count: %v", 42)
+}
+
+// %d before the error keeps verb/argument alignment honest.
+func positional(err error) error {
+	return fmt.Errorf("attempt %d: %v", 3, err) // want "use %w"
+}
+
+func dropped() {
+	doThing() // want "dropped"
+}
+
+func handled() error {
+	if err := doThing(); err != nil {
+		return err
+	}
+	// explicit discard is allowed: the drop is visible at the call site.
+	_ = doThing()
+	// calls with more than one result are out of scope for this check.
+	pair()
+	return nil
+}
+
+// strings.Builder and bytes.Buffer writes never fail; dropping their error
+// is idiomatic.
+func builder() string {
+	var b strings.Builder
+	b.WriteByte('x')
+	return b.String()
+}

@@ -1,0 +1,35 @@
+// Package floateq is a magnet-vet fixture: each violation line carries an
+// expectation comment, allowed patterns carry none.
+package floateq
+
+func eq64(a, b float64) bool {
+	return a == b // want "ApproxEqual"
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want "ApproxEqual"
+}
+
+func constZero(a float64) bool {
+	return a == 0 // want "ApproxEqual"
+}
+
+// epsilon comparison is the allowed pattern.
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}
+
+// integer equality is out of scope.
+func ints(a, b int) bool { return a == b }
+
+// ordered float comparisons are fine; only ==/!= are fragile.
+func less(a, b float64) bool { return a < b }
+
+// the ignore directive silences a deliberate exact comparison.
+func ignored(a, b float64) bool {
+	return a == b //magnet-vet:ignore floateq
+}

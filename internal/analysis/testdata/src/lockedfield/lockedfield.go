@@ -1,0 +1,57 @@
+// Package lockedfield is a magnet-vet fixture: each violation line carries an
+// expectation comment, allowed patterns carry none.
+package lockedfield
+
+import "sync"
+
+// Counter demonstrates the guarded-by discipline on a plain Mutex.
+type Counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+	// free has no annotation and may be accessed lock-free.
+	free int
+}
+
+// Inc locks before touching the guarded field: allowed.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads the guarded field without the lock: caught.
+func (c *Counter) Peek() int {
+	return c.n // want "guarded by mu"
+}
+
+// peekLocked is exempt by the *Locked caller-holds-lock convention.
+func (c *Counter) peekLocked() int { return c.n }
+
+// Free touches only unguarded state: allowed.
+func (c *Counter) Free() int { return c.free }
+
+// RW demonstrates that RLock also satisfies the guard.
+type RW struct {
+	mu sync.RWMutex
+	// guarded by mu
+	m map[string]int
+}
+
+// Get reads under RLock: allowed.
+func (r *RW) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// Put writes without any lock: caught.
+func (r *RW) Put(k string, v int) {
+	r.m[k] = v // want "guarded by mu"
+}
+
+// Stale carries an annotation naming a mutex the struct does not have.
+type Stale struct {
+	// guarded by gone
+	x int // want "no field gone"
+}

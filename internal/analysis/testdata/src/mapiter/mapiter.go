@@ -1,0 +1,53 @@
+// Package mapiter is a magnet-vet fixture: each violation line carries an
+// expectation comment, allowed patterns carry none.
+package mapiter
+
+import "sort"
+
+func unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "without a later sort"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sorting after the loop is the allowed pattern.
+func sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// delegating to a sorting helper also counts.
+func viaHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(ss []string) { sort.Strings(ss) }
+
+// map-to-map aggregation does not leak iteration order.
+func aggregate(m map[string][]string) map[string]int {
+	counts := make(map[string]int)
+	for k, vs := range m {
+		counts[k] = len(vs)
+	}
+	return counts
+}
+
+// ranging over a slice needs no sort.
+func overSlice(ss []string) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, s)
+	}
+	return out
+}

@@ -25,7 +25,10 @@ func proposalsFor(ps []Proposal, kind Kind, prop rdf.IRI) []Proposal {
 // integer value types for the stringly area and admission columns, and
 // labels for every property.
 func TestAdviseStatesDataset(t *testing.T) {
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ps := Advise(g, Config{})
 
 	area := proposalsFor(ps, ValueType, states.PropArea)
@@ -53,7 +56,10 @@ func TestAdviseStatesDataset(t *testing.T) {
 }
 
 func TestApplyUpgradesStates(t *testing.T) {
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	Apply(g, Advise(g, Config{}))
 	sch := schema.NewStore(g)
 	if sch.ValueType(states.PropArea) != schema.Integer {
@@ -114,7 +120,10 @@ func TestAdviseComposeAndFacets(t *testing.T) {
 }
 
 func TestAdviseSkipsAnnotated(t *testing.T) {
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	states.Annotate(g)
 	ps := Advise(g, Config{})
 	if got := proposalsFor(ps, ValueType, states.PropArea); got != nil {
@@ -126,7 +135,10 @@ func TestAdviseSkipsAnnotated(t *testing.T) {
 }
 
 func TestAdviseDeterministicOrder(t *testing.T) {
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := Advise(g, Config{})
 	b := Advise(g, Config{})
 	if len(a) != len(b) {

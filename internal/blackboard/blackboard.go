@@ -191,9 +191,11 @@ type Suggestion struct {
 
 // Board is the shared blackboard. It is safe for concurrent posting.
 type Board struct {
-	mu          sync.Mutex
+	mu sync.Mutex
+	// suggestions is the posting order of accepted suggestions; guarded by mu.
 	suggestions []Suggestion
-	seen        map[string]bool
+	// seen dedupes suggestion keys (first poster wins); guarded by mu.
+	seen map[string]bool
 }
 
 // NewBoard returns an empty board.
@@ -255,7 +257,8 @@ type Reactor interface {
 
 // Registry holds the configured analysts and runs them over views.
 type Registry struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// analysts is the registered advisor list; guarded by mu.
 	analysts []Analyst
 }
 

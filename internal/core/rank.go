@@ -6,6 +6,7 @@ import (
 
 	"magnet/internal/query"
 	"magnet/internal/rdf"
+	"magnet/internal/vsm"
 )
 
 // Result ordering implements the extension the paper's §6.2 identifies as
@@ -60,7 +61,7 @@ func (s *Session) RankedItems(opts RankOptions) []rdf.IRI {
 	copy(ranked, items)
 	sort.SliceStable(ranked, func(i, j int) bool {
 		si, sj := scores[ranked[i]], scores[ranked[j]]
-		if si != sj {
+		if !vsm.ApproxEqual(si, sj) {
 			return si > sj
 		}
 		return ranked[i] < ranked[j]

@@ -18,6 +18,7 @@ package recipes
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"magnet/internal/rdf"
@@ -426,11 +427,7 @@ func groupOrder(groups map[string][]string) []string {
 		out = append(out, g)
 	}
 	// Stable order for deterministic graphs.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

@@ -13,6 +13,7 @@
 package states
 
 import (
+	"fmt"
 	"strings"
 
 	"magnet/internal/datasets/csvrdf"
@@ -40,15 +41,14 @@ func State(name string) rdf.IRI { return csvrdf.Row(NS, name) }
 func CSV() string { return csvData }
 
 // Build imports the CSV into a fresh graph, exactly "as given": plain
-// strings, no labels, no types (the Figure 7 configuration).
-func Build() *rdf.Graph {
+// strings, no labels, no types (the Figure 7 configuration). The error
+// path only fires if the embedded CSV constant is edited into invalidity.
+func Build() (*rdf.Graph, error) {
 	g := rdf.NewGraph()
 	if _, err := csvrdf.FromCSV(g, strings.NewReader(csvData), NS, "state"); err != nil {
-		// The embedded CSV is a compile-time constant; failure to parse it
-		// is a programming error.
-		panic("states: embedded CSV invalid: " + err.Error())
+		return nil, fmt.Errorf("states: embedded CSV: %w", err)
 	}
-	return g
+	return g, nil
 }
 
 // Annotate adds the paper's Figure 8 annotations: human-readable labels on

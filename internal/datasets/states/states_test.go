@@ -9,7 +9,10 @@ import (
 )
 
 func TestFiftyStates(t *testing.T) {
-	g := Build()
+	g, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	rows := 0
 	for _, s := range g.AllSubjects() {
 		if strings.Contains(string(s), "row/") {
@@ -24,7 +27,10 @@ func TestFiftyStates(t *testing.T) {
 func TestSevenCardinalStates(t *testing.T) {
 	// The paper's §6.1 observation: "seven states have 'cardinal' in their
 	// bird names".
-	g := Build()
+	g, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cardinals := g.Subjects(PropBird, rdf.NewString("Cardinal"))
 	if len(cardinals) != 7 {
 		t.Fatalf("cardinal states = %d, want 7: %v", len(cardinals), cardinals)
@@ -42,7 +48,10 @@ func TestSevenCardinalStates(t *testing.T) {
 }
 
 func TestUnannotatedIsStringly(t *testing.T) {
-	g := Build()
+	g, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	sch := schema.NewStore(g)
 	// Figure 7: no labels, area is a plain string (Text), raw identifiers.
 	if sch.HasLabel(PropBird) {
@@ -54,7 +63,10 @@ func TestUnannotatedIsStringly(t *testing.T) {
 }
 
 func TestAnnotateEnablesFigure8(t *testing.T) {
-	g := Build()
+	g, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	Annotate(g)
 	sch := schema.NewStore(g)
 	if !sch.HasLabel(PropBird) || sch.Label(PropBird) != "State bird" {
@@ -72,7 +84,10 @@ func TestAnnotateEnablesFigure8(t *testing.T) {
 }
 
 func TestAlaskaIsAreaOutlier(t *testing.T) {
-	g := Build()
+	g, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var maxState rdf.IRI
 	var maxArea float64
 	for _, s := range g.AllSubjects() {

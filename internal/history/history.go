@@ -17,12 +17,14 @@ import (
 type Tracker struct {
 	mu sync.Mutex
 
-	// visits is the ordered log of view keys, most recent last.
+	// visits is the ordered log of view keys, most recent last;
+	// guarded by mu.
 	visits []string
 	// transitions counts, for each view key, which views the user went to
-	// next: from → to → count.
+	// next: from → to → count; guarded by mu.
 	transitions map[string]map[string]int
-	// trail is the refinement trail of queries, most recent last.
+	// trail is the refinement trail of queries, most recent last;
+	// guarded by mu.
 	trail []query.Query
 }
 

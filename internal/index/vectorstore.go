@@ -56,13 +56,13 @@ type VectorStore struct {
 
 	mu sync.RWMutex
 
-	freqs    map[string]map[string]float64 // docID → term → raw frequency
-	postings map[string]map[string]float64 // term → docID → raw frequency
-	df       map[string]int                // term → document frequency
+	freqs    map[string]map[string]float64 // docID → term → raw frequency; guarded by mu
+	postings map[string]map[string]float64 // term → docID → raw frequency; guarded by mu
+	df       map[string]int                // term → document frequency; guarded by mu
 
-	gen    uint64                        // bumped on every mutation
-	cache  map[string]map[string]float64 // docID → normalized tf·idf vector
-	cached uint64                        // generation the cache was built at
+	gen    uint64                        // bumped on every mutation; guarded by mu
+	cache  map[string]map[string]float64 // docID → normalized tf·idf vector; guarded by mu
+	cached uint64                        // generation the cache was built at; guarded by mu
 }
 
 // NewVectorStore returns an empty vector store.

@@ -11,6 +11,11 @@ import (
 	"magnet/internal/rdf"
 )
 
+// apply performs a board action for a simulated user, deliberately
+// discarding failures: a user whose click does nothing simply carries on,
+// and every action applied here came off the session's own board.
+func apply(s *core.Session, a blackboard.Action) { _ = s.Apply(a) }
+
 // studyEnv holds the corpus-level fixtures of the two directed tasks.
 type studyEnv struct {
 	graph *rdf.Graph
@@ -172,7 +177,7 @@ func (e *studyEnv) task1(u *user, s *core.Session, complete bool) int {
 		// Similarity path (complete system only): "find recipes similar to
 		// a target recipe but that did not have nuts in them".
 		if sg, ok := findGroupSuggestion(s, "Similar by Content"); ok {
-			s.Apply(sg.Action)
+			apply(s, sg.Action)
 			// Excluding nuts needs the context-menu mode switch; most users
 			// manage it here because the suggestion is in front of them.
 			if u.rng.Float64() < 0.75 {
@@ -195,7 +200,7 @@ func (e *studyEnv) task1(u *user, s *core.Session, complete bool) int {
 		q = q.With(query.Property{Prop: recipes.PropCourse, Value: course})
 	}
 	q = q.With(query.Property{Prop: recipes.PropIngredient, Value: recipes.Ingredient("Walnuts")})
-	s.Apply(blackboard.ReplaceQuery{Query: q})
+	apply(s, blackboard.ReplaceQuery{Query: q})
 	// "...then issuing a refinement to exclude items with nuts, producing
 	// the empty result set."
 	s.Refine(nutExclusion(), blackboard.Exclude)
@@ -206,7 +211,7 @@ func (e *studyEnv) task1(u *user, s *core.Session, complete bool) int {
 		if complete {
 			// The contrary advisor suggests negating the walnut constraint.
 			if sg, ok := findContrary(s, "Walnut"); ok && u.rng.Float64() < 0.85 {
-				s.Apply(sg.Action)
+				apply(s, sg.Action)
 				// Clean up the now-redundant empty-set exclusion by
 				// removing the stale positive constraint if still present.
 				recovered = len(s.Items()) > 0
@@ -224,7 +229,7 @@ func (e *studyEnv) task1(u *user, s *core.Session, complete bool) int {
 				fixed = fixed.With(query.Property{Prop: recipes.PropCourse, Value: course})
 			}
 			fixed = fixed.With(query.Not{P: nutExclusion()})
-			s.Apply(blackboard.ReplaceQuery{Query: fixed})
+			apply(s, blackboard.ReplaceQuery{Query: fixed})
 			recovered = len(s.Items()) > 0
 		}
 		if !recovered {
@@ -236,7 +241,7 @@ func (e *studyEnv) task1(u *user, s *core.Session, complete bool) int {
 			if course, ok := e.graph.Object(e.target, recipes.PropCourse); ok {
 				fallback = fallback.With(query.Property{Prop: recipes.PropCourse, Value: course})
 			}
-			s.Apply(blackboard.ReplaceQuery{Query: fallback})
+			apply(s, blackboard.ReplaceQuery{Query: fallback})
 		}
 	}
 	e.scanTask1(u, s.Items(), found, u.patience*2, recogListing)
@@ -248,7 +253,7 @@ func (e *studyEnv) task1(u *user, s *core.Session, complete bool) int {
 	if complete && len(found) < 2 && u.rng.Float64() < 0.6 {
 		s.OpenItem(e.target)
 		if sg, ok := findGroupSuggestion(s, "Similar by Content"); ok {
-			s.Apply(sg.Action)
+			apply(s, sg.Action)
 			if u.rng.Float64() < 0.75 {
 				s.Refine(nutExclusion(), blackboard.Exclude)
 			}
@@ -273,7 +278,7 @@ func (e *studyEnv) task2(u *user, s *core.Session, complete bool) int {
 	favorites := e.pickFavorites(u)
 	mexican := recipes.Cuisine("Mexican")
 
-	s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(
+	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(
 		query.TypeIs(recipes.ClassRecipe),
 		query.Property{Prop: recipes.PropCuisine, Value: mexican},
 	)})
@@ -314,7 +319,7 @@ func (e *studyEnv) task2(u *user, s *core.Session, complete bool) int {
 		if complete && firstPick != "" && u.rng.Float64() < 0.35 {
 			s.OpenItem(firstPick)
 			if sg, ok := findGroupSuggestion(s, "Similar by Content"); ok {
-				s.Apply(sg.Action)
+				apply(s, sg.Action)
 				for _, it := range s.Items() {
 					if collected[it] || !e.isRecipe(it) {
 						continue
@@ -329,7 +334,7 @@ func (e *studyEnv) task2(u *user, s *core.Session, complete bool) int {
 		}
 
 		// Back to the Mexican collection for the next course.
-		s.Apply(blackboard.ReplaceQuery{Query: query.NewQuery(
+		apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(
 			query.TypeIs(recipes.ClassRecipe),
 			query.Property{Prop: recipes.PropCuisine, Value: mexican},
 		)})

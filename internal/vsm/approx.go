@@ -1,0 +1,29 @@
+package vsm
+
+import "math"
+
+// Epsilon is the tolerance used by ApproxEqual. Scores in the vector model
+// are sums of products of unit-normalized weights, so meaningful
+// differences are far above 1e-9 while float rounding noise sits far below
+// it.
+const Epsilon = 1e-9
+
+// ApproxEqual reports whether two scores are equal within Epsilon (absolute
+// for small magnitudes, relative for large ones). Scoring and ranking code
+// must use this instead of ==/!= on float64 — the magnet-vet floateq
+// analyzer enforces it. Following IEEE semantics, NaN is equal to nothing
+// (including NaN); infinities are equal only to infinities of the same
+// sign.
+func ApproxEqual(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return (math.IsInf(a, 1) && math.IsInf(b, 1)) || (math.IsInf(a, -1) && math.IsInf(b, -1))
+	}
+	diff := math.Abs(a - b)
+	if diff <= Epsilon {
+		return true
+	}
+	return diff <= Epsilon*math.Max(math.Abs(a), math.Abs(b))
+}

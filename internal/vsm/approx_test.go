@@ -1,0 +1,41 @@
+package vsm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	tests := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{0, Epsilon, true},               // at the absolute tolerance
+		{0, Epsilon * 1.01, false},       // just past it
+		{1, 1 + 1e-12, true},             // rounding noise
+		{1, 1 + 1e-6, false},             // a real difference
+		{1e12, 1e12 * (1 + 1e-12), true}, // relative tolerance at scale
+		{1e12, 1e12 * (1 + 1e-6), false}, // a real difference at scale
+		{-0.5, 0.5, false},
+		{0, math.Copysign(0, -1), true}, // +0 and -0
+		{inf, inf, true},
+		{-inf, -inf, true},
+		{inf, -inf, false},
+		{inf, math.MaxFloat64, false},
+		{nan, nan, false},
+		{nan, 0, false},
+		{0, nan, false},
+		{nan, inf, false},
+	}
+	for _, tt := range tests {
+		if got := ApproxEqual(tt.a, tt.b); got != tt.want {
+			t.Errorf("ApproxEqual(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := ApproxEqual(tt.b, tt.a); got != tt.want {
+			t.Errorf("ApproxEqual(%v, %v) = %v, want %v (asymmetric)", tt.b, tt.a, got, tt.want)
+		}
+	}
+}

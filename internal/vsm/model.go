@@ -492,8 +492,8 @@ func (m *Model) ExplainSimilarity(a, b rdf.IRI, k int) []WeightedCoord {
 	}
 	var out []WeightedCoord
 	for term, wa := range va {
-		wb := vb[term]
-		if wa*wb == 0 {
+		wb, shared := vb[term]
+		if !shared {
 			continue
 		}
 		c, ok := ParseCoord(term)
@@ -503,7 +503,7 @@ func (m *Model) ExplainSimilarity(a, b rdf.IRI, k int) []WeightedCoord {
 		out = append(out, WeightedCoord{Coord: c, Weight: wa * wb})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Weight != out[j].Weight {
+		if !ApproxEqual(out[i].Weight, out[j].Weight) {
 			return out[i].Weight > out[j].Weight
 		}
 		return out[i].Coord.Key() < out[j].Coord.Key()
@@ -527,7 +527,7 @@ func (m *Model) DebugVector(item rdf.IRI, label func(rdf.IRI) string) []string {
 		entries = append(entries, entry{t, w})
 	}
 	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].w != entries[j].w {
+		if !ApproxEqual(entries[i].w, entries[j].w) {
 			return entries[i].w > entries[j].w
 		}
 		return entries[i].term < entries[j].term

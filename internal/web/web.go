@@ -30,7 +30,8 @@ type Server struct {
 	m   *core.Magnet
 	mux *http.ServeMux
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	sessions map[string]*core.Session
 }
 
@@ -66,29 +67,34 @@ const sessionCookie = "magnet_session"
 // session returns the request's browsing session, creating one (and setting
 // the cookie) on first contact. All navigation is serialized under the
 // server mutex: core.Session models a single user and is not concurrent.
-func (s *Server) session(w http.ResponseWriter, r *http.Request) *core.Session {
+// The error path is a failing entropy source for new session IDs.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*core.Session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if c, err := r.Cookie(sessionCookie); err == nil {
 		if sess, ok := s.sessions[c.Value]; ok {
-			return sess
+			return sess, nil
 		}
 	}
 	buf := make([]byte, 16)
 	if _, err := rand.Read(buf); err != nil {
-		panic("web: crypto/rand unavailable: " + err.Error())
+		return nil, fmt.Errorf("web: session id: %w", err)
 	}
 	id := hex.EncodeToString(buf)
 	sess := s.m.NewSession()
 	s.sessions[id] = sess
 	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: id, Path: "/"})
-	return sess
+	return sess, nil
 }
 
 // withSession runs fn under the server lock and redirects to the
 // collection page afterwards.
 func (s *Server) navigate(w http.ResponseWriter, r *http.Request, fn func(*core.Session)) {
-	sess := s.session(w, r)
+	sess, err := s.session(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.mu.Lock()
 	fn(sess)
 	s.mu.Unlock()
@@ -103,10 +109,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if strings.ContainsAny(q, "=:<>") {
 			res := qlang.NewResolver(s.m.Graph(), s.m.Schema())
 			if parsed, err := qlang.Parse(q, res); err == nil {
-				sess.Apply(blackboard.ReplaceQuery{Query: parsed})
-				return
+				if err := sess.Apply(blackboard.ReplaceQuery{Query: parsed}); err == nil {
+					return
+				}
 			}
-			// Fall back to keyword search on parse errors.
+			// Fall back to keyword search when parsing or applying fails.
 		}
 		sess.Search(q)
 	})
@@ -123,7 +130,11 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	sess := s.session(w, r)
+	sess, err := s.session(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.mu.Lock()
 	sess.OpenItem(item)
 	data := s.itemData(sess, item)
@@ -162,7 +173,11 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGo(w http.ResponseWriter, r *http.Request) {
 	key := r.FormValue("k")
 	mode := r.FormValue("mode")
-	sess := s.session(w, r)
+	sess, err := s.session(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.mu.Lock()
 	var found *blackboard.Suggestion
 	for _, sg := range sess.Board().Suggestions() {
@@ -202,7 +217,7 @@ func (s *Server) handleGo(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "/overview", http.StatusSeeOther)
 		return
 	}
-	err := sess.Apply(action)
+	err = sess.Apply(action)
 	s.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -257,7 +272,11 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
-	sess := s.session(w, r)
+	sess, err := s.session(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.mu.Lock()
 	data := s.overviewData(sess)
 	s.mu.Unlock()
@@ -269,7 +288,11 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	sess := s.session(w, r)
+	sess, err := s.session(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.mu.Lock()
 	data := s.collectionData(sess)
 	s.mu.Unlock()

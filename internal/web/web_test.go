@@ -165,7 +165,10 @@ func TestRefineEndpointModesAndErrors(t *testing.T) {
 }
 
 func TestRangeWidgetFlow(t *testing.T) {
-	g := states.Build()
+	g, err := states.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	states.Annotate(g)
 	m := core.Open(g, core.Options{IndexAllSubjects: true})
 	cl := newClient(t, m)
