@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet magnet-vet fuzz check
+.PHONY: build test race vet magnet-vet fuzz bench-json check
 
 build:
 	$(GO) build ./...
@@ -31,5 +31,13 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/text/
 	$(GO) test -run='^$$' -fuzz=FuzzStem -fuzztime=$(FUZZTIME) ./internal/text/
 	$(GO) test -run='^$$' -fuzz=FuzzReadNTriples -fuzztime=$(FUZZTIME) ./internal/rdf/
+	$(GO) test -run='^$$' -fuzz=FuzzItemSetOps -fuzztime=$(FUZZTIME) ./internal/itemset/
 
-check: build vet magnet-vet test race fuzz
+# Machine-readable benchmark snapshot: every benchmark with -benchmem,
+# converted to BENCH_<date>.json (see cmd/benchjson) for cross-PR diffing.
+BENCHDATE := $(shell date +%Y-%m-%d)
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$(BENCHDATE).json
+	@echo wrote BENCH_$(BENCHDATE).json
+
+check: build vet magnet-vet test race fuzz bench-json

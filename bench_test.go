@@ -34,9 +34,10 @@ import (
 	"magnet/internal/vsm"
 )
 
-// benchCorpusSize keeps fixture setup tractable while remaining a third of
-// the paper's 6,444-recipe corpus; cmd/magnet-study runs the full size.
-const benchCorpusSize = 2000
+// benchCorpusSize is the paper's full 6,444-recipe corpus, so P and E
+// benchmark numbers are directly comparable with EXPERIMENTS.md and the
+// BENCH_*.json trajectory.
+const benchCorpusSize = 6444
 
 var (
 	recipeOnce sync.Once
@@ -173,7 +174,7 @@ func BenchmarkFig5RangeQuery(b *testing.B) {
 		}
 		span := h.Max - h.Min
 		set := query.Between(inbox.PropSent, h.Min+span/3, h.Min+2*span/3).Eval(m.Engine())
-		matched = len(set)
+		matched = set.Len()
 	}
 	b.ReportMetric(float64(matched), "matched")
 }
@@ -209,7 +210,7 @@ func BenchmarkFig7CardinalStates(b *testing.B) {
 	var cardinal int
 	for i := 0; i < b.N; i++ {
 		set := query.TermMatch{Term: "cardin", Field: string(states.PropBird)}.Eval(m.Engine())
-		cardinal = len(set)
+		cardinal = set.Len()
 	}
 	if cardinal != 7 {
 		b.Fatalf("cardinal states = %d, want 7", cardinal)
@@ -358,7 +359,30 @@ func BenchmarkQueryConjunction(b *testing.B) {
 	}
 }
 
-// BenchmarkTextSearch (P5): ranked keyword retrieval over the corpus.
+// BenchmarkQueryEval (P5): the set-algebra workload behind every
+// navigation step — a conjunction mixing disjunction, negation and a
+// one-sided range, evaluated over the full recipes@6444 corpus.
+func BenchmarkQueryEval(b *testing.B) {
+	m := recipeMagnet()
+	q := query.NewQuery(
+		query.TypeIs(recipes.ClassRecipe),
+		query.Or{Ps: []query.Predicate{
+			query.Property{Prop: recipes.PropCuisine, Value: recipes.Cuisine("Greek")},
+			query.Property{Prop: recipes.PropCuisine, Value: recipes.Cuisine("Italian")},
+		}},
+		query.Not{P: query.Property{Prop: recipes.PropIngredient, Value: recipes.Ingredient("Walnuts")}},
+		query.AtLeast(recipes.PropServings, 4),
+	)
+	e := m.Engine()
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		matched = len(e.Evaluate(q))
+	}
+	b.ReportMetric(float64(matched), "matched")
+}
+
+// BenchmarkTextSearch (P5b): ranked keyword retrieval over the corpus.
 func BenchmarkTextSearch(b *testing.B) {
 	m := recipeMagnet()
 	b.ResetTimer()

@@ -1,8 +1,9 @@
 // Command magnet-vet runs Magnet's own static-analysis suite: named
 // analyzers enforcing the repository's correctness invariants (locking
 // discipline, float comparison rules in scoring code, error wrapping,
-// deterministic map-iteration output, context placement) with file:line
-// diagnostics and a CI-friendly exit code.
+// deterministic map-iteration output, context placement, dense-ID set
+// discipline in hot-path packages) with file:line diagnostics and a
+// CI-friendly exit code.
 //
 // Usage:
 //

@@ -176,6 +176,7 @@ func All() []*Analyzer {
 		ErrWrap(),
 		MapIter(),
 		CtxFirst("internal/web"),
+		DenseKeys("internal/query", "internal/facets", "internal/vsm", "internal/index"),
 	}
 }
 
@@ -183,5 +184,5 @@ func All() []*Analyzer {
 // mode magnet-vet uses on an explicit directory (e.g. a fixture package),
 // where all invariants should apply regardless of location.
 func Unscoped() []*Analyzer {
-	return []*Analyzer{LockedField(), FloatEq(), ErrWrap(), MapIter(), CtxFirst()}
+	return []*Analyzer{LockedField(), FloatEq(), ErrWrap(), MapIter(), CtxFirst(), DenseKeys()}
 }

@@ -86,6 +86,7 @@ func TestFloatEq(t *testing.T)     { runFixture(t, FloatEq(), "floateq") }
 func TestErrWrap(t *testing.T)     { runFixture(t, ErrWrap(), "errwrap") }
 func TestMapIter(t *testing.T)     { runFixture(t, MapIter(), "mapiter") }
 func TestCtxFirst(t *testing.T)    { runFixture(t, CtxFirst(), "ctxfirst") }
+func TestDenseKeys(t *testing.T)   { runFixture(t, DenseKeys(), "densekeys") }
 
 // TestScopeRestrictsFiles checks that a scoped analyzer skips packages
 // outside its path scope entirely.

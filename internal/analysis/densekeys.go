@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DenseKeys guards the dense-ID discipline of the itemset refactor: inside
+// the hot-path packages (query evaluation, facet aggregation, the vector
+// space model, and the indexes) item sets must live on the interned-ID plane
+// — sorted []uint32 / itemset.Set — not as IRI- or string-keyed hash maps.
+// A map[rdf.IRI]struct{}, map[rdf.IRI]bool, or map[string]struct{} in those
+// packages is a set smuggled back into hashing: every membership probe pays
+// a string hash and every accumulation allocates, which is exactly what the
+// ID plane removes. Plain map[string]bool and maps carrying payload values
+// (counts, weights, postings) are not sets and pass.
+func DenseKeys(scope ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "densekeys",
+		Doc:   "hot-path item sets must use itemset.Set over interned IDs, not IRI/string-keyed maps",
+		Scope: scope,
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				mt, ok := n.(*ast.MapType)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(mt)
+				if t == nil {
+					return true
+				}
+				m, ok := t.Underlying().(*types.Map)
+				if !ok {
+					return true
+				}
+				kb, ok := m.Key().Underlying().(*types.Basic)
+				if !ok || kb.Kind() != types.String {
+					return true
+				}
+				_, namedKey := m.Key().(*types.Named)
+				switch {
+				case isEmptyStruct(m.Elem()):
+					// Any string-underlying key with a struct{} value is a
+					// pure membership set.
+				case isBoolType(m.Elem()) && namedKey:
+					// bool-valued maps over a named string type (rdf.IRI)
+					// are sets too; plain map[string]bool often carries
+					// genuine flags and is left alone.
+				default:
+					return true
+				}
+				pass.Reportf(mt.Pos(), "map[%s]%s used as a set in a hot-path package; intern the keys and use itemset.Set",
+					types.TypeString(m.Key(), types.RelativeTo(pass.Pkg.Types)),
+					types.TypeString(m.Elem(), types.RelativeTo(pass.Pkg.Types)))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isEmptyStruct(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

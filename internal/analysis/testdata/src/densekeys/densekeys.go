@@ -1,0 +1,34 @@
+// Package densekeys is a magnet-vet fixture: each violation line carries an
+// expectation comment, allowed patterns carry none.
+package densekeys
+
+// IRI stands in for rdf.IRI: a named type whose underlying type is string.
+type IRI string
+
+type state struct {
+	seen map[IRI]struct{}    // want "used as a set"
+	live map[string]struct{} // want "used as a set"
+	// counts carries a payload, not membership.
+	counts map[IRI]int
+}
+
+func locals() {
+	members := make(map[IRI]bool) // want "used as a set"
+	members["a"] = true
+
+	tokens := make(map[string]struct{}) // want "used as a set"
+	tokens["b"] = struct{}{}
+
+	// Plain map[string]bool often carries real flags; allowed.
+	flags := make(map[string]bool)
+	flags["verbose"] = true
+
+	// Payload-valued maps are histograms or postings, not sets.
+	weights := make(map[IRI]float64)
+	weights["c"] = 1.5
+	postings := make(map[string][]uint32)
+	postings["d"] = nil
+}
+
+// aliased declares the set shape behind a named type; still a set.
+type aliased map[IRI]struct{} // want "used as a set"

@@ -73,11 +73,12 @@ func (r *Refinement) suggestObject(b *blackboard.Board, c vsm.Coord, weight floa
 		pred = pp
 		// Composed coordinates need a real evaluation to learn how many
 		// collection members they match.
-		for it := range pp.Eval(r.env.Engine) {
+		pp.Eval(r.env.Engine).ForEach(func(it rdf.IRI) bool {
 			if members[it] {
 				cnt++
 			}
-		}
+			return true
+		})
 	}
 	if cnt == 0 || cnt == n {
 		// Matches nothing or everything: no refinement value.

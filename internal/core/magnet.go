@@ -12,6 +12,7 @@ import (
 	"magnet/internal/analysts"
 	"magnet/internal/blackboard"
 	"magnet/internal/index"
+	"magnet/internal/itemset"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
@@ -49,6 +50,9 @@ type Magnet struct {
 	eng   *query.Engine
 	opts  Options
 	items []rdf.IRI
+	// itemIDs mirrors items on the dense-ID plane; the query engine's
+	// universe (Not, empty queries) reads it without rehydration.
+	itemIDs itemset.Set
 }
 
 // Open builds a Magnet over the graph: it chooses the item universe,
@@ -63,6 +67,7 @@ func Open(g *rdf.Graph, opts Options) *Magnet {
 	}
 	m.Reindex()
 	m.eng = query.NewEngine(g, m.sch, m.text, func() []rdf.IRI { return m.items })
+	m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
 	return m
 }
 
@@ -95,6 +100,7 @@ func (m *Magnet) Reindex() {
 		// The engine closes over m.items; only the text index pointer needs
 		// refreshing.
 		m.eng = query.NewEngine(m.g, m.sch, m.text, func() []rdf.IRI { return m.items })
+		m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
 	}
 }
 
@@ -124,6 +130,8 @@ func (m *Magnet) IndexItem(item rdf.IRI) {
 		m.items = append(m.items, "")
 		copy(m.items[i+1:], m.items[i:])
 		m.items[i] = item
+		id := m.g.Interner().Intern(item)
+		m.itemIDs = m.itemIDs.Union(itemset.FromSorted([]uint32{id}))
 	}
 }
 
@@ -135,32 +143,32 @@ func (m *Magnet) RemoveItem(item rdf.IRI) {
 	i := sort.Search(len(m.items), func(i int) bool { return m.items[i] >= item })
 	if i < len(m.items) && m.items[i] == item {
 		m.items = append(m.items[:i], m.items[i+1:]...)
+		if id, ok := m.g.SubjectID(item); ok {
+			m.itemIDs = m.itemIDs.Minus(itemset.FromSorted([]uint32{id}))
+		}
 	}
 }
 
 // chooseItems selects the indexed information objects: subjects with an
 // rdf:type, or every subject when none carry types (or when configured).
+// It also records the universe on the dense-ID plane (m.itemIDs); the class
+// union runs entirely over subject-ID postings via one bitmap accumulator.
 func (m *Magnet) chooseItems() []rdf.IRI {
 	if !m.opts.IndexAllSubjects {
-		typed := make(map[rdf.IRI]struct{})
+		b := itemset.NewBits(m.g.Interner().Len())
 		for _, t := range m.g.ObjectsOf(rdf.Type) {
 			cls, ok := t.(rdf.IRI)
 			if !ok {
 				continue
 			}
-			for _, s := range m.g.SubjectsOfType(cls) {
-				typed[s] = struct{}{}
-			}
+			b.AddSet(m.g.SubjectIDSet(rdf.Type, cls))
 		}
-		if len(typed) > 0 {
-			out := make([]rdf.IRI, 0, len(typed))
-			for s := range typed {
-				out = append(out, s)
-			}
-			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-			return out
+		if b.Count() > 0 {
+			m.itemIDs = b.Extract()
+			return m.g.SubjectsFromIDs(m.itemIDs.Slice())
 		}
 	}
+	m.itemIDs = m.g.AllSubjectIDs()
 	return m.g.AllSubjects()
 }
 

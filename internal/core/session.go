@@ -156,7 +156,7 @@ func (s *Session) refineFixed(p query.Predicate, mode blackboard.RefineMode) {
 	}
 	if mode == blackboard.Expand {
 		items = append([]rdf.IRI{}, s.current.Collection...)
-		seen := query.NewSet(items...)
+		seen := s.m.eng.NewSet(items...)
 		for _, it := range matches.Items() {
 			if !seen.Has(it) {
 				items = append(items, it)

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"magnet/internal/itemset"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
 )
@@ -71,46 +72,75 @@ type Options struct {
 // Summarize computes facets for every navigation property occurring in the
 // collection. Facets are ordered: preferred (annotated) facets first, then
 // by descending Score, ties alphabetical.
+//
+// Aggregation runs on the graph's dense-ID plane: the collection becomes one
+// sorted itemset, and each property's per-value histogram is a sequence of
+// posting-list intersections — no per-item hashing, no per-value maps.
 func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) []Facet {
-	type agg struct {
-		counts   map[string]int
-		terms    map[string]rdf.Term
-		coverage int
-	}
-	aggs := make(map[rdf.IRI]*agg)
-
+	collIDs := make([]uint32, 0, len(items))
 	for _, it := range items {
-		for _, p := range g.PredicatesOf(it) {
-			if sch.Hidden(p) {
-				continue
-			}
-			values := g.Objects(it, p)
-			if len(values) == 0 {
-				continue
-			}
-			a := aggs[p]
-			if a == nil {
-				a = &agg{counts: make(map[string]int), terms: make(map[string]rdf.Term)}
-				aggs[p] = a
-			}
-			a.coverage++
-			for _, v := range values {
-				k := v.Key()
-				a.counts[k]++
-				a.terms[k] = v
-			}
+		// Items absent from the graph carry no properties.
+		if id, ok := g.SubjectID(it); ok {
+			collIDs = append(collIDs, id)
 		}
 	}
+	coll := itemset.FromUnsorted(collIDs)
 
-	facets := make([]Facet, 0, len(aggs))
-	for p, a := range aggs {
+	// Epoch-stamped coverage counter: one pass per predicate, no clearing.
+	// Every intersection result is a subset of coll, so coll's max ID bounds
+	// the stamp array.
+	var maxID uint32
+	if n := coll.Len(); n > 0 {
+		maxID, _ = coll.Select(n - 1)
+	}
+	seen := make([]uint32, int(maxID)+1)
+	var epoch uint32
+	var buf []uint32 // intersection scratch, reused across values
+
+	var facets []Facet
+	for _, p := range g.Predicates() {
+		if sch.Hidden(p) {
+			continue
+		}
+		epoch++
+		coverage, distinct := 0, 0
+		shared := false
+		var values []Value
+		g.ForEachValuePosting(p, func(o rdf.Term, subjects itemset.Set) bool {
+			inter := itemset.IntersectInto(buf, subjects, coll)
+			buf = inter.Slice()[:0]
+			n := inter.Len()
+			if n == 0 {
+				return true
+			}
+			distinct++
+			if n >= 2 {
+				shared = true
+			}
+			inter.ForEach(func(id uint32) bool {
+				if seen[id] != epoch {
+					seen[id] = epoch
+					coverage++
+				}
+				return true
+			})
+			if opts.MinCount > 1 && n < opts.MinCount {
+				return true
+			}
+			values = append(values, Value{Term: o, Label: g.TermLabel(o), Count: n})
+			return true
+		})
+		if coverage == 0 {
+			continue
+		}
 		f := Facet{
 			Prop:      p,
 			Label:     sch.Label(p),
 			Labeled:   sch.HasLabel(p),
 			ValueType: sch.ValueType(p),
-			Distinct:  len(a.counts),
-			Coverage:  a.coverage,
+			Values:    values,
+			Distinct:  distinct,
+			Coverage:  coverage,
 			Preferred: sch.IsFacet(p),
 		}
 		if p == rdf.Type {
@@ -118,22 +148,8 @@ func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) [
 			// that otherwise show raw identifiers (Figure 7).
 			f.Label, f.Labeled = "type", true
 		}
-		shared := false
-		for _, c := range a.counts {
-			if c >= 2 {
-				shared = true
-				break
-			}
-		}
 		if !shared && !opts.IncludeUnshared && !f.Preferred {
 			continue
-		}
-		for k, c := range a.counts {
-			if opts.MinCount > 1 && c < opts.MinCount {
-				continue
-			}
-			term := a.terms[k]
-			f.Values = append(f.Values, Value{Term: term, Label: g.TermLabel(term), Count: c})
 		}
 		sortValues(f.Values, opts.ByCount)
 		if opts.MaxValues > 0 && len(f.Values) > opts.MaxValues {
@@ -269,6 +285,7 @@ func Outliers(g *rdf.Graph, items []rdf.IRI, prop rdf.IRI, k float64) []rdf.IRI 
 			out = append(out, p.item)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Output follows the input order; callers pass sorted collections, so
+	// re-sorting here would be redundant.
 	return out
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 
+	"magnet/internal/ids"
+	"magnet/internal/itemset"
 	"magnet/internal/text"
 )
 
@@ -12,21 +14,71 @@ import (
 // query.
 const AnyField = ""
 
+// posting is one term/field posting list: sorted dense docnums with
+// parallel term frequencies.
+type posting struct {
+	dns []uint32
+	tfs []int
+}
+
+// add accumulates c occurrences of the term for docnum dn.
+func (p *posting) add(dn uint32, c int) {
+	i := searchPost(p.dns, dn)
+	if i < len(p.dns) && p.dns[i] == dn {
+		p.tfs[i] += c
+		return
+	}
+	p.dns = append(p.dns, 0)
+	p.tfs = append(p.tfs, 0)
+	copy(p.dns[i+1:], p.dns[i:])
+	copy(p.tfs[i+1:], p.tfs[i:])
+	p.dns[i] = dn
+	p.tfs[i] = c
+}
+
+// remove deletes docnum dn, reporting whether the posting is now empty.
+func (p *posting) remove(dn uint32) bool {
+	i := searchPost(p.dns, dn)
+	if i < len(p.dns) && p.dns[i] == dn {
+		p.dns = append(p.dns[:i], p.dns[i+1:]...)
+		p.tfs = append(p.tfs[:i], p.tfs[i+1:]...)
+	}
+	return len(p.dns) == 0
+}
+
+func searchPost(dns []uint32, dn uint32) int {
+	lo, hi := 0, len(dns)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if dns[mid] < dn {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // TextIndex is a field-aware inverted text index: the "external index" the
 // paper's query engine consults for keyword predicates (§4.2: "the query
 // engine has been extended to uniformly query an external index to support
 // text in documents"). Documents carry one or more named text fields (e.g.
 // title, body); queries may be scoped to a field or span all of them.
+//
+// Documents are interned to dense uint32 docnums; posting lists are sorted
+// []uint32 + parallel frequency slices, so boolean matching is merge-based
+// set algebra and ranked retrieval accumulates into a dense score column.
 type TextIndex struct {
 	mu       sync.RWMutex
 	analyzer *text.Analyzer
+	docs     *ids.Interner[string] // docID → dense docnum, append-only
 
-	// postings: term → field → docID → tf.
-	postings map[string]map[string]map[string]int
-	// docFields: docID → field → token count (for existence and removal).
+	// postings: term → field → posting list.
+	postings map[string]map[string]*posting
+	// docTerms: docID → field → term → tf (for existence and removal).
 	docTerms map[string]map[string]map[string]int
-	// fieldDF: term → set of docIDs containing it in any field.
-	df map[string]map[string]struct{}
+	// df: term → sorted docnums containing it in any field.
+	df map[string][]uint32
 	// surfaces: analyzed term → raw token → count; tracks the most common
 	// pre-stemming surface form so suggestions can display "parsley" rather
 	// than the stem "parslei".
@@ -41,9 +93,10 @@ func NewTextIndex(a *text.Analyzer) *TextIndex {
 	}
 	return &TextIndex{
 		analyzer: a,
-		postings: make(map[string]map[string]map[string]int),
+		docs:     ids.NewInterner[string](),
+		postings: make(map[string]map[string]*posting),
 		docTerms: make(map[string]map[string]map[string]int),
-		df:       make(map[string]map[string]struct{}),
+		df:       make(map[string][]uint32),
 		surfaces: make(map[string]map[string]int),
 	}
 }
@@ -76,6 +129,7 @@ func (ix *TextIndex) Index(docID, field, raw string) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	dn := ix.docs.Intern(docID)
 	for term, toks := range surf {
 		m := ix.surfaces[term]
 		if m == nil {
@@ -100,22 +154,29 @@ func (ix *TextIndex) Index(docID, field, raw string) {
 		terms[t] += c
 		byField := ix.postings[t]
 		if byField == nil {
-			byField = make(map[string]map[string]int)
+			byField = make(map[string]*posting)
 			ix.postings[t] = byField
 		}
-		docs := byField[field]
-		if docs == nil {
-			docs = make(map[string]int)
-			byField[field] = docs
+		p := byField[field]
+		if p == nil {
+			p = &posting{}
+			byField[field] = p
 		}
-		docs[docID] += c
-		set := ix.df[t]
-		if set == nil {
-			set = make(map[string]struct{})
-			ix.df[t] = set
-		}
-		set[docID] = struct{}{}
+		p.add(dn, c)
+		ix.df[t] = insertDF(ix.df[t], dn)
 	}
+}
+
+// insertDF inserts dn into a sorted docnum slice if absent.
+func insertDF(dns []uint32, dn uint32) []uint32 {
+	i := searchPost(dns, dn)
+	if i < len(dns) && dns[i] == dn {
+		return dns
+	}
+	dns = append(dns, 0)
+	copy(dns[i+1:], dns[i:])
+	dns[i] = dn
+	return dns
 }
 
 // Remove deletes every field of docID from the index.
@@ -126,18 +187,21 @@ func (ix *TextIndex) Remove(docID string) bool {
 	if !ok {
 		return false
 	}
+	dn, _ := ix.docs.Lookup(docID)
 	for field, terms := range fields {
 		for t := range terms {
-			delete(ix.postings[t][field], docID)
-			if len(ix.postings[t][field]) == 0 {
+			if p := ix.postings[t][field]; p != nil && p.remove(dn) {
 				delete(ix.postings[t], field)
 			}
 			if len(ix.postings[t]) == 0 {
 				delete(ix.postings, t)
 			}
-			if set := ix.df[t]; set != nil {
-				delete(set, docID)
-				if len(set) == 0 {
+			if dns := ix.df[t]; dns != nil {
+				i := searchPost(dns, dn)
+				if i < len(dns) && dns[i] == dn {
+					ix.df[t] = append(dns[:i], dns[i+1:]...)
+				}
+				if len(ix.df[t]) == 0 {
 					delete(ix.df, t)
 				}
 			}
@@ -180,19 +244,49 @@ func (ix *TextIndex) Surface(term string) string {
 	return best
 }
 
+// docnumsWithTermLocked returns the docnums containing one analyzed term in
+// the given field. Single-field lookups are zero-copy views; AnyField
+// unions the field postings through a bitmap.
+func (ix *TextIndex) docnumsWithTermLocked(term, field string) itemset.Set {
+	byField := ix.postings[term]
+	if byField == nil {
+		return itemset.Set{}
+	}
+	if field != AnyField {
+		p := byField[field]
+		if p == nil {
+			return itemset.Set{}
+		}
+		return itemset.FromSorted(p.dns)
+	}
+	b := itemset.NewBits(ix.docs.Len())
+	for _, p := range byField {
+		b.AddSlice(p.dns)
+	}
+	return b.Extract()
+}
+
+// rehydrate converts a docnum set to sorted docID strings.
+func (ix *TextIndex) rehydrate(set itemset.Set) []string {
+	out := ix.docs.AppendKeys(make([]string, 0, set.Len()), set.Slice())
+	sort.Strings(out)
+	return out
+}
+
 // MatchingTerm returns the sorted IDs of documents containing one
 // already-analyzed term in the given field (AnyField spans all fields). No
 // analysis is applied to the input.
 func (ix *TextIndex) MatchingTerm(term, field string) []string {
 	ix.mu.RLock()
-	docs := ix.docsWithTermLocked(term, field)
-	ix.mu.RUnlock()
-	out := make([]string, 0, len(docs))
-	for id := range docs {
-		out = append(out, id)
+	set := ix.docnumsWithTermLocked(term, field)
+	if set.IsEmpty() {
+		ix.mu.RUnlock()
+		return []string{}
 	}
-	sort.Strings(out)
-	return out
+	keys := ix.docs.AppendKeys(make([]string, 0, set.Len()), set.Slice())
+	ix.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Matching returns the IDs of documents containing every term of the
@@ -205,66 +299,42 @@ func (ix *TextIndex) Matching(query, field string) []string {
 		return nil
 	}
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	var result map[string]struct{}
-	for _, t := range terms {
-		docs := ix.docsWithTermLocked(t, field)
-		if len(docs) == 0 {
+	var result itemset.Set
+	for i, t := range terms {
+		docs := ix.docnumsWithTermLocked(t, field)
+		if docs.IsEmpty() {
+			ix.mu.RUnlock()
 			return nil
 		}
-		if result == nil {
+		if i == 0 {
 			result = docs
-			continue
+		} else {
+			result = result.Intersect(docs)
 		}
-		for id := range result {
-			if _, ok := docs[id]; !ok {
-				delete(result, id)
-			}
-		}
-		if len(result) == 0 {
+		if result.IsEmpty() {
+			ix.mu.RUnlock()
 			return nil
 		}
 	}
-	out := make([]string, 0, len(result))
-	for id := range result {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func (ix *TextIndex) docsWithTermLocked(term, field string) map[string]struct{} {
-	byField := ix.postings[term]
-	if byField == nil {
-		return nil
-	}
-	out := make(map[string]struct{})
-	if field == AnyField {
-		for _, docs := range byField {
-			for id := range docs {
-				out[id] = struct{}{}
-			}
-		}
-		return out
-	}
-	for id := range byField[field] {
-		out[id] = struct{}{}
-	}
-	return out
+	keys := ix.docs.AppendKeys(make([]string, 0, result.Len()), result.Slice())
+	ix.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Search ranks documents against the analyzed free-text query by tf·idf
 // (documents need not contain every term). Results are in descending score
-// order, at most k (k ≤ 0 means unlimited).
+// order, at most k (k ≤ 0 means unlimited). Scores accumulate into a dense
+// docnum-indexed column — no per-document hashing.
 func (ix *TextIndex) Search(query, field string, k int) []Scored {
 	terms := ix.analyzer.Terms(query)
 	if len(terms) == 0 {
 		return nil
 	}
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	n := float64(len(ix.docTerms))
-	scores := make(map[string]float64)
+	scores := make([]float64, ix.docs.Len())
+	touched := itemset.NewBits(len(scores))
 	for _, t := range terms {
 		df := float64(len(ix.df[t]))
 		if df == 0 {
@@ -272,22 +342,26 @@ func (ix *TextIndex) Search(query, field string, k int) []Scored {
 		}
 		idf := math.Log(n/df) + 1 // +1 keeps single-term queries ranked by tf
 		byField := ix.postings[t]
-		apply := func(docs map[string]int) {
-			for id, tf := range docs {
-				scores[id] += math.Log(float64(tf)+1) * idf
+		apply := func(p *posting) {
+			for i, dn := range p.dns {
+				scores[dn] += math.Log(float64(p.tfs[i])+1) * idf
+				touched.Add(dn)
 			}
 		}
 		if field == AnyField {
-			for _, docs := range byField {
-				apply(docs)
+			for _, p := range byField {
+				apply(p)
 			}
-		} else {
-			apply(byField[field])
+		} else if p := byField[field]; p != nil {
+			apply(p)
 		}
 	}
-	out := make([]Scored, 0, len(scores))
-	for id, s := range scores {
-		out = append(out, Scored{id, s})
+	hits := touched.Extract()
+	docIDs := ix.docs.AppendKeys(make([]string, 0, hits.Len()), hits.Slice())
+	ix.mu.RUnlock()
+	out := make([]Scored, 0, hits.Len())
+	for i, dn := range hits.Slice() {
+		out = append(out, Scored{docIDs[i], scores[dn]})
 	}
 	sortScored(out)
 	if k > 0 && len(out) > k {

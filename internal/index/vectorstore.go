@@ -13,6 +13,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"magnet/internal/ids"
+	"magnet/internal/itemset"
 )
 
 // Scored pairs a document ID with a similarity or retrieval score.
@@ -35,6 +38,11 @@ func sortScored(s []Scored) {
 // VectorStore is a concurrency-safe store of sparse term-frequency vectors
 // with tf·idf weighting and cosine (unit-normalized dot product) similarity.
 //
+// Documents and terms are interned to dense uint32 numbers; per-document
+// term vectors are parallel sorted []uint32 / []float64 slices rather than
+// nested string-keyed maps, and retrieval candidates come from lazily
+// rebuilt dense posting lists.
+//
 // Raw frequencies are stored; weighted vectors are derived lazily using the
 // paper's §5.2 formula
 //
@@ -42,8 +50,11 @@ func sortScored(s []Scored) {
 //
 // followed by normalization of each document vector to length one, "to give
 // objects equal importance rather than giving more importance to items with
-// more metadata". Derived vectors are cached and invalidated whenever any
-// document is added or removed (document frequencies shift globally).
+// more metadata". Derived vectors are cached with generation-counter
+// invalidation: a cached vector is rebuilt only when something it actually
+// depends on changed — its own frequencies, the document count, or the
+// document frequency of one of its terms — so replacing one document's
+// vector no longer discards every other document's cache.
 type VectorStore struct {
 	// PinnedPrefix, when non-empty, marks terms whose stored frequency is
 	// used directly as the (pre-normalization) weight, bypassing the
@@ -56,23 +67,70 @@ type VectorStore struct {
 
 	mu sync.RWMutex
 
-	freqs    map[string]map[string]float64 // docID → term → raw frequency; guarded by mu
-	postings map[string]map[string]float64 // term → docID → raw frequency; guarded by mu
-	df       map[string]int                // term → document frequency; guarded by mu
+	docs  *ids.Interner[string] // docID → dense docnum, append-only
+	terms *ids.Interner[string] // term → dense termnum, append-only
 
-	gen    uint64                        // bumped on every mutation; guarded by mu
-	cache  map[string]map[string]float64 // docID → normalized tf·idf vector; guarded by mu
-	cached uint64                        // generation the cache was built at; guarded by mu
+	// Per-document state, indexed by docnum. docTerms is nil for absent
+	// documents (never stored, or removed); live documents keep sorted
+	// termnums with parallel raw frequencies.
+	docTerms [][]uint32
+	docFreqs [][]float64
+	live     int // number of present documents
+
+	// Per-term state, indexed by termnum.
+	df     []int  // document frequency
+	pinned []bool // term carries PinnedPrefix
+
+	// Generation counters. gen bumps on every mutation; nGen records when
+	// the live document count last changed (idf depends on it globally);
+	// termGen[t] when df[t] last changed; docGen[d] when d's own
+	// frequencies last changed. A vector cached at generation g is valid
+	// iff none of its dependencies moved past g.
+	gen     uint64
+	nGen    uint64
+	termGen []uint64
+	docGen  []uint64
+
+	cache    []map[string]float64 // docnum → normalized tf·idf vector
+	cacheGen []uint64             // docnum → generation the vector was built at
+
+	// post: termnum → sorted docnum posting list, rebuilt lazily for
+	// retrieval (SimilarTo) when stale.
+	post    [][]uint32
+	postGen uint64
 }
 
 // NewVectorStore returns an empty vector store.
 func NewVectorStore() *VectorStore {
 	return &VectorStore{
-		freqs:    make(map[string]map[string]float64),
-		postings: make(map[string]map[string]float64),
-		df:       make(map[string]int),
-		cache:    make(map[string]map[string]float64),
+		docs:    ids.NewInterner[string](),
+		terms:   ids.NewInterner[string](),
+		postGen: ^uint64(0), // force first postings build
 	}
+}
+
+// docnum interns docID and grows the per-document columns to cover it.
+func (v *VectorStore) docnum(docID string) uint32 {
+	dn := v.docs.Intern(docID)
+	for int(dn) >= len(v.docTerms) {
+		v.docTerms = append(v.docTerms, nil)
+		v.docFreqs = append(v.docFreqs, nil)
+		v.docGen = append(v.docGen, 0)
+		v.cache = append(v.cache, nil)
+		v.cacheGen = append(v.cacheGen, 0)
+	}
+	return dn
+}
+
+// termnum interns term and grows the per-term columns to cover it.
+func (v *VectorStore) termnum(term string) uint32 {
+	t := v.terms.Intern(term)
+	for int(t) >= len(v.df) {
+		v.df = append(v.df, 0)
+		v.termGen = append(v.termGen, 0)
+		v.pinned = append(v.pinned, v.PinnedPrefix != "" && strings.HasPrefix(v.terms.Key(uint32(len(v.pinned))), v.PinnedPrefix))
+	}
+	return t
 }
 
 // Add stores (or replaces) the raw term-frequency vector for docID.
@@ -80,51 +138,72 @@ func NewVectorStore() *VectorStore {
 func (v *VectorStore) Add(docID string, freqs map[string]float64) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	v.removeLocked(docID)
-	doc := make(map[string]float64, len(freqs))
-	for t, f := range freqs {
+	v.gen++
+	dn := v.docnum(docID)
+
+	newTerms := make([]uint32, 0, len(freqs))
+	for term, f := range freqs {
 		if f <= 0 {
 			continue
 		}
-		doc[t] = f
-		p := v.postings[t]
-		if p == nil {
-			p = make(map[string]float64)
-			v.postings[t] = p
-		}
-		p[docID] = f
-		v.df[t]++
+		newTerms = append(newTerms, v.termnum(term))
 	}
-	v.freqs[docID] = doc
-	v.gen++
+	sort.Slice(newTerms, func(i, j int) bool { return newTerms[i] < newTerms[j] })
+	newFreqs := make([]float64, len(newTerms))
+	for i, t := range newTerms {
+		newFreqs[i] = freqs[v.terms.Key(t)]
+	}
+
+	// Document-frequency bookkeeping: merge the old and new sorted term
+	// lists; only terms entering or leaving the document move df (and so
+	// invalidate other documents containing them). Shared terms don't.
+	old := v.docTerms[dn]
+	i, j := 0, 0
+	for i < len(old) || j < len(newTerms) {
+		switch {
+		case j >= len(newTerms) || (i < len(old) && old[i] < newTerms[j]):
+			v.df[old[i]]--
+			v.termGen[old[i]] = v.gen
+			i++
+		case i >= len(old) || newTerms[j] < old[i]:
+			v.df[newTerms[j]]++
+			v.termGen[newTerms[j]] = v.gen
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+
+	if old == nil {
+		v.live++
+		v.nGen = v.gen
+	}
+	v.docTerms[dn] = newTerms
+	v.docFreqs[dn] = newFreqs
+	v.docGen[dn] = v.gen
+	v.cache[dn] = nil
 }
 
 // Remove deletes docID from the store, reporting whether it was present.
 func (v *VectorStore) Remove(docID string) bool {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	ok := v.removeLocked(docID)
-	if ok {
-		v.gen++
-	}
-	return ok
-}
-
-func (v *VectorStore) removeLocked(docID string) bool {
-	doc, ok := v.freqs[docID]
-	if !ok {
+	dn, ok := v.docs.Lookup(docID)
+	if !ok || v.docTerms[dn] == nil {
 		return false
 	}
-	for t := range doc {
-		delete(v.postings[t], docID)
-		if len(v.postings[t]) == 0 {
-			delete(v.postings, t)
-		}
-		if v.df[t]--; v.df[t] == 0 {
-			delete(v.df, t)
-		}
+	v.gen++
+	for _, t := range v.docTerms[dn] {
+		v.df[t]--
+		v.termGen[t] = v.gen
 	}
-	delete(v.freqs, docID)
+	v.docTerms[dn] = nil
+	v.docFreqs[dn] = nil
+	v.docGen[dn] = v.gen
+	v.cache[dn] = nil
+	v.live--
+	v.nGen = v.gen
 	return true
 }
 
@@ -132,22 +211,26 @@ func (v *VectorStore) removeLocked(docID string) bool {
 func (v *VectorStore) Len() int {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return len(v.freqs)
+	return v.live
 }
 
 // Has reports whether docID is stored.
 func (v *VectorStore) Has(docID string) bool {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	_, ok := v.freqs[docID]
-	return ok
+	dn, ok := v.docs.Lookup(docID)
+	return ok && v.docTerms[dn] != nil
 }
 
 // DocFreq returns the number of documents containing term.
 func (v *VectorStore) DocFreq(term string) int {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return v.df[term]
+	t, ok := v.terms.Lookup(term)
+	if !ok {
+		return 0
+	}
+	return v.df[t]
 }
 
 // IDF returns the paper's inverse document frequency for term:
@@ -157,63 +240,85 @@ func (v *VectorStore) DocFreq(term string) int {
 func (v *VectorStore) IDF(term string) float64 {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return v.idfLocked(term)
+	t, ok := v.terms.Lookup(term)
+	if !ok {
+		return 0
+	}
+	return v.idfLocked(t)
 }
 
-func (v *VectorStore) idfLocked(term string) float64 {
-	df := v.df[term]
+func (v *VectorStore) idfLocked(t uint32) float64 {
+	df := v.df[t]
 	if df == 0 {
 		return 0
 	}
-	return math.Log(float64(len(v.freqs)) / float64(df))
+	return math.Log(float64(v.live) / float64(df))
+}
+
+// validLocked reports whether the vector cached for dn is still correct:
+// nothing it depends on may have moved past its build generation.
+func (v *VectorStore) validLocked(dn uint32) bool {
+	g := v.cacheGen[dn]
+	if g == v.gen {
+		return true
+	}
+	if v.docGen[dn] > g || v.nGen > g {
+		return false
+	}
+	for _, t := range v.docTerms[dn] {
+		if v.termGen[t] > g {
+			return false
+		}
+	}
+	return true
 }
 
 // Vector returns the normalized tf·idf vector of docID (nil if absent).
 // The returned map must not be mutated.
 func (v *VectorStore) Vector(docID string) map[string]float64 {
 	v.mu.RLock()
-	if v.cached == v.gen {
-		if vec, ok := v.cache[docID]; ok {
-			v.mu.RUnlock()
-			return vec
-		}
+	dn, ok := v.docs.Lookup(docID)
+	if !ok {
+		v.mu.RUnlock()
+		return nil
+	}
+	if vec := v.cache[dn]; vec != nil && v.validLocked(dn) {
+		v.mu.RUnlock()
+		return vec
 	}
 	v.mu.RUnlock()
 
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if v.cached != v.gen {
-		v.cache = make(map[string]map[string]float64)
-		v.cached = v.gen
-	}
-	if vec, ok := v.cache[docID]; ok {
+	if vec := v.cache[dn]; vec != nil && v.validLocked(dn) {
+		v.cacheGen[dn] = v.gen // refresh so the next check is O(1)
 		return vec
 	}
-	vec := v.buildVectorLocked(docID)
-	if vec != nil {
-		v.cache[docID] = vec
-	}
+	vec := v.buildVectorLocked(dn)
+	v.cache[dn] = vec
+	v.cacheGen[dn] = v.gen
 	return vec
 }
 
-func (v *VectorStore) buildVectorLocked(docID string) map[string]float64 {
-	doc, ok := v.freqs[docID]
-	if !ok {
+func (v *VectorStore) buildVectorLocked(dn uint32) map[string]float64 {
+	ts := v.docTerms[dn]
+	if ts == nil {
 		return nil
 	}
-	vec := make(map[string]float64, len(doc))
+	fs := v.docFreqs[dn]
+	vec := make(map[string]float64, len(ts))
 	var norm float64
-	for t, f := range doc {
+	for i, t := range ts {
 		var w float64
-		if v.PinnedPrefix != "" && strings.HasPrefix(t, v.PinnedPrefix) {
-			w = f
+		if v.pinned[t] {
+			w = fs[i]
 		} else {
-			w = math.Log(f+1) * v.idfLocked(t)
+			w = math.Log(fs[i]+1) * v.idfLocked(t)
 		}
 		if w == 0 {
 			continue
 		}
-		vec[t] = w
+		vec[v.terms.Key(t)] = w
 		norm += w * w
 	}
 	if norm > 0 {
@@ -272,6 +377,22 @@ func Normalize(vec map[string]float64) {
 	}
 }
 
+// postingsLocked returns the dense docnum posting lists, rebuilding them
+// when stale. Caller holds the write lock.
+func (v *VectorStore) postingsLocked() [][]uint32 {
+	if v.postGen != v.gen {
+		post := make([][]uint32, v.terms.Len())
+		for dn, ts := range v.docTerms {
+			for _, t := range ts {
+				post[t] = append(post[t], uint32(dn))
+			}
+		}
+		v.post = post
+		v.postGen = v.gen
+	}
+	return v.post
+}
+
 // SimilarTo returns up to k documents most similar to the query vector, in
 // descending score order, skipping documents for which exclude returns true
 // and documents with zero score. exclude may be nil.
@@ -281,17 +402,20 @@ func (v *VectorStore) SimilarTo(query map[string]float64, k int, exclude func(st
 	}
 	// Accumulate via postings so only candidate documents sharing at least
 	// one query term are touched.
-	candidates := make(map[string]struct{})
-	v.mu.RLock()
+	v.mu.Lock()
+	post := v.postingsLocked()
+	b := itemset.NewBits(len(v.docTerms))
 	for t := range query {
-		for docID := range v.postings[t] {
-			candidates[docID] = struct{}{}
+		if tn, ok := v.terms.Lookup(t); ok {
+			b.AddSlice(post[tn])
 		}
 	}
-	v.mu.RUnlock()
+	cands := b.Extract()
+	v.mu.Unlock()
 
-	scores := make([]Scored, 0, len(candidates))
-	for docID := range candidates {
+	docIDs := v.docs.AppendKeys(make([]string, 0, cands.Len()), cands.Slice())
+	scores := make([]Scored, 0, len(docIDs))
+	for _, docID := range docIDs {
 		if exclude != nil && exclude(docID) {
 			continue
 		}
@@ -347,10 +471,13 @@ func TopTerms(vec map[string]float64, k int, accept func(string) bool) []TermWei
 func (v *VectorStore) IDs() []string {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	out := make([]string, 0, len(v.freqs))
-	for id := range v.freqs {
-		out = append(out, id)
+	live := make([]uint32, 0, v.live)
+	for dn, ts := range v.docTerms {
+		if ts != nil {
+			live = append(live, uint32(dn))
+		}
 	}
+	out := v.docs.AppendKeys(make([]string, 0, len(live)), live)
 	sort.Strings(out)
 	return out
 }

@@ -303,3 +303,75 @@ func TestQuickSimilarityBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGenerationCacheSurvivesReplacement pins the generation-counter
+// invalidation: replacing one document's frequencies (same term set) must
+// not discard other documents' cached vectors, while genuinely affected
+// vectors are rebuilt correctly.
+func TestGenerationCacheSurvivesReplacement(t *testing.T) {
+	v := NewVectorStore()
+	v.Add("d1", map[string]float64{"a": 1, "b": 2})
+	v.Add("d2", map[string]float64{"b": 1, "c": 3})
+	v.Add("d3", map[string]float64{"c": 2})
+
+	d1 := v.Vector("d1")
+	d3 := v.Vector("d3")
+
+	// Replace d2 with the same term set but new frequencies: N unchanged,
+	// df(b)/df(c) unchanged, so d1 and d3's cached maps must survive
+	// untouched (pointer identity), while d2 is rebuilt.
+	d2old := v.Vector("d2")
+	v.Add("d2", map[string]float64{"b": 5, "c": 1})
+	if got := v.Vector("d1"); !same(got, d1) {
+		t.Error("d1's cached vector was invalidated by an unrelated replacement")
+	}
+	if got := v.Vector("d3"); !same(got, d3) {
+		t.Error("d3's cached vector was invalidated by an unrelated replacement")
+	}
+	if got := v.Vector("d2"); same(got, d2old) {
+		t.Error("d2's own vector was not rebuilt")
+	}
+
+	// Replace d2 dropping term c: df(c) 2→1, so d3 (contains c) must be
+	// rebuilt; d1 (a, b only... df(b) unchanged? b stays in d2, so yes)
+	// survives.
+	d1 = v.Vector("d1")
+	v.Add("d2", map[string]float64{"b": 5})
+	if got := v.Vector("d1"); !same(got, d1) {
+		t.Error("d1 invalidated though none of its term dfs changed")
+	}
+
+	// Correctness against a store built from scratch in the final state.
+	want := NewVectorStore()
+	want.Add("d1", map[string]float64{"a": 1, "b": 2})
+	want.Add("d2", map[string]float64{"b": 5})
+	want.Add("d3", map[string]float64{"c": 2})
+	for _, id := range []string{"d1", "d2", "d3"} {
+		got, exp := v.Vector(id), want.Vector(id)
+		if len(got) != len(exp) {
+			t.Fatalf("%s: vector %v, want %v", id, got, exp)
+		}
+		for term, w := range exp {
+			if math.Abs(got[term]-w) > 1e-12 {
+				t.Fatalf("%s[%s] = %v, want %v", id, term, got[term], w)
+			}
+		}
+	}
+
+	// Adding a brand-new document changes N and must invalidate everything.
+	d1 = v.Vector("d1")
+	v.Add("d4", map[string]float64{"a": 1})
+	if got := v.Vector("d1"); same(got, d1) {
+		t.Error("d1 not rebuilt after document count changed")
+	}
+}
+
+// same reports map pointer identity (not equality).
+func same(a, b map[string]float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) == len(b)
+	}
+	ka := reflect.ValueOf(a).Pointer()
+	kb := reflect.ValueOf(b).Pointer()
+	return ka == kb
+}

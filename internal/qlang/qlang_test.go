@@ -102,11 +102,11 @@ func TestParsePrecedenceAndParens(t *testing.T) {
 	// Both evaluate without error and q2 is a subset of Greek∪Mexican.
 	set1 := q1.Eval(e)
 	set2 := q2.Eval(e)
-	if len(set2) == 0 || len(set1) == 0 {
+	if set2.Len() == 0 || set1.Len() == 0 {
 		t.Error("empty evaluations")
 	}
-	for it := range set2 {
-		if !set1.Has(it) && len(set1) > 0 {
+	for _, it := range set2.Items() {
+		if !set1.Has(it) && set1.Len() > 0 {
 			// q2 ⊆ (Greek ∪ (Mexican ∧ Dessert)) need not hold; just sanity
 			// that both are non-crazy.
 			break

@@ -18,74 +18,129 @@ import (
 	"strings"
 	"time"
 
+	"magnet/internal/ids"
 	"magnet/internal/index"
+	"magnet/internal/itemset"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
 )
 
-// Set is a set of items.
-type Set map[rdf.IRI]struct{}
-
-// NewSet builds a set from items.
-func NewSet(items ...rdf.IRI) Set {
-	s := make(Set, len(items))
-	for _, it := range items {
-		s[it] = struct{}{}
-	}
-	return s
+// Set is a set of items, backed by the dense-ID plane: an itemset over the
+// graph-owned interner. Set algebra is merge-based over sorted uint32
+// postings — no hashing, no per-member allocation — and IRIs are
+// rehydrated only at the render boundary (Items). The zero Set is empty.
+//
+// Sets produced by one Engine share that engine's interner; mixing sets
+// from different engines (or from the engine-less NewSet) still works —
+// the receiver re-interns the other side's members — but costs the
+// rehydration it normally avoids.
+type Set struct {
+	in  *ids.Interner[rdf.IRI]
+	set itemset.Set
 }
+
+// NewSet builds a set from items without an engine, using a private
+// interner. Prefer Engine.NewSet, which shares the graph's ID space and
+// keeps set algebra allocation-free.
+func NewSet(items ...rdf.IRI) Set {
+	return makeSet(ids.NewInterner[rdf.IRI](), items)
+}
+
+// NewSet builds a set from items in the engine's dense ID space.
+func (e *Engine) NewSet(items ...rdf.IRI) Set {
+	return makeSet(e.g.Interner(), items)
+}
+
+func makeSet(in *ids.Interner[rdf.IRI], items []rdf.IRI) Set {
+	dense := make([]uint32, len(items))
+	for i, it := range items {
+		dense[i] = in.Intern(it)
+	}
+	return Set{in: in, set: itemset.FromUnsorted(dense)}
+}
+
+// setFromIDs wraps an itemset from the engine's ID space without copying.
+func (e *Engine) setFromIDs(s itemset.Set) Set {
+	return Set{in: e.g.Interner(), set: s}
+}
+
+// Len returns the number of members.
+func (s Set) Len() int { return s.set.Len() }
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool { return s.set.IsEmpty() }
 
 // Has reports membership.
 func (s Set) Has(it rdf.IRI) bool {
-	_, ok := s[it]
-	return ok
+	if s.in == nil {
+		return false
+	}
+	id, ok := s.in.Lookup(it)
+	return ok && s.set.Has(id)
 }
 
-// Items returns the members sorted.
-func (s Set) Items() []rdf.IRI {
-	out := make([]rdf.IRI, 0, len(s))
-	for it := range s {
-		out = append(out, it)
+// IDs exposes the dense-ID view for layers that stay on the ID plane
+// (facets, vsm, advisors).
+func (s Set) IDs() itemset.Set { return s.set }
+
+// ForEach calls f on each member until f returns false, in dense-ID
+// (interning) order — not lexical order.
+func (s Set) ForEach(f func(rdf.IRI) bool) {
+	if s.in == nil {
+		return
 	}
+	s.set.ForEach(func(id uint32) bool { return f(s.in.Key(id)) })
+}
+
+// Items returns the members sorted lexically (the render-boundary
+// rehydration; ID order is interning order, so a sort is required here and
+// only here).
+func (s Set) Items() []rdf.IRI {
+	if s.set.IsEmpty() {
+		return []rdf.IRI{}
+	}
+	out := s.in.AppendKeys(make([]rdf.IRI, 0, s.set.Len()), s.set.Slice())
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// rebase returns t's itemset expressed in s's ID space, re-interning when
+// the two sets come from different interners (the engine-less NewSet
+// path).
+func (s Set) rebase(t Set) itemset.Set {
+	if t.in == s.in || t.set.IsEmpty() {
+		return t.set
+	}
+	keys := t.in.AppendKeys(make([]rdf.IRI, 0, t.set.Len()), t.set.Slice())
+	dense := make([]uint32, len(keys))
+	for i, k := range keys {
+		dense[i] = s.in.Intern(k)
+	}
+	return itemset.FromUnsorted(dense)
+}
+
 // Intersect returns s ∩ t.
 func (s Set) Intersect(t Set) Set {
-	if len(t) < len(s) {
-		s, t = t, s
+	if s.in == nil || t.in == nil {
+		return Set{in: s.in}
 	}
-	out := make(Set)
-	for it := range s {
-		if t.Has(it) {
-			out[it] = struct{}{}
-		}
-	}
-	return out
+	return Set{in: s.in, set: s.set.Intersect(s.rebase(t))}
 }
 
 // Union returns s ∪ t.
 func (s Set) Union(t Set) Set {
-	out := make(Set, len(s)+len(t))
-	for it := range s {
-		out[it] = struct{}{}
+	if s.in == nil {
+		return t
 	}
-	for it := range t {
-		out[it] = struct{}{}
-	}
-	return out
+	return Set{in: s.in, set: s.set.Union(s.rebase(t))}
 }
 
 // Minus returns s \ t.
 func (s Set) Minus(t Set) Set {
-	out := make(Set)
-	for it := range s {
-		if !t.Has(it) {
-			out[it] = struct{}{}
-		}
+	if s.in == nil || t.in == nil || t.set.IsEmpty() {
+		return s
 	}
-	return out
+	return Set{in: s.in, set: s.set.Minus(s.rebase(t))}
 }
 
 // Labeler renders resources for humans; the graph's Label method satisfies
@@ -101,6 +156,9 @@ type Engine struct {
 	// universe lists all queryable items (Magnet's indexed information
 	// objects); Not and empty queries resolve against it.
 	universe func() []rdf.IRI
+	// universeIDs, when set, supplies the universe directly on the ID
+	// plane, skipping the IRI round-trip (core.Magnet maintains it).
+	universeIDs func() itemset.Set
 }
 
 // NewEngine returns an engine. text may be nil (keyword predicates then
@@ -108,6 +166,10 @@ type Engine struct {
 func NewEngine(g *rdf.Graph, sch *schema.Store, text *index.TextIndex, universe func() []rdf.IRI) *Engine {
 	return &Engine{g: g, sch: sch, text: text, universe: universe}
 }
+
+// SetUniverseIDs installs a dense-ID universe source; when present it takes
+// precedence over the IRI-level universe function.
+func (e *Engine) SetUniverseIDs(f func() itemset.Set) { e.universeIDs = f }
 
 // Graph exposes the engine's graph to custom predicates.
 func (e *Engine) Graph() *rdf.Graph { return e.g }
@@ -121,7 +183,10 @@ func (e *Engine) TextIndex() *index.TextIndex { return e.text }
 
 // Universe returns the set of all queryable items.
 func (e *Engine) Universe() Set {
-	return NewSet(e.universe()...)
+	if e.universeIDs != nil {
+		return e.setFromIDs(e.universeIDs())
+	}
+	return e.NewSet(e.universe()...)
 }
 
 // Predicate is one query constraint. Implementations evaluate to the set of
@@ -142,9 +207,10 @@ type Property struct {
 	Value rdf.Term
 }
 
-// Eval implements Predicate via the graph's reverse index.
+// Eval implements Predicate via the graph's reverse index — a zero-copy
+// view of the posting list.
 func (p Property) Eval(e *Engine) Set {
-	return NewSet(e.g.Subjects(p.Prop, p.Value)...)
+	return e.setFromIDs(e.g.SubjectIDSet(p.Prop, p.Value))
 }
 
 // Describe implements Predicate.
@@ -183,20 +249,19 @@ func (p PathProperty) Eval(e *Engine) Set {
 	if len(p.Path) == 0 {
 		return Set{}
 	}
-	frontier := NewSet(e.g.Subjects(p.Path[len(p.Path)-1], p.Value)...)
+	frontier := e.g.SubjectIDSet(p.Path[len(p.Path)-1], p.Value)
 	for i := len(p.Path) - 2; i >= 0; i-- {
-		next := make(Set)
-		for node := range frontier {
-			for _, s := range e.g.Subjects(p.Path[i], node) {
-				next[s] = struct{}{}
-			}
-		}
-		frontier = next
-		if len(frontier) == 0 {
+		b := itemset.NewBits(e.g.Interner().Len())
+		frontier.ForEach(func(id uint32) bool {
+			b.AddSet(e.g.SubjectIDSet(p.Path[i], e.g.SubjectByID(id)))
+			return true
+		})
+		frontier = b.Extract()
+		if frontier.IsEmpty() {
 			break
 		}
 	}
-	return frontier
+	return e.setFromIDs(frontier)
 }
 
 // Describe implements Predicate.
@@ -239,12 +304,18 @@ func (k Keyword) Eval(e *Engine) Set {
 	if e.text == nil || strings.TrimSpace(k.Text) == "" {
 		return Set{}
 	}
-	ids := e.text.Matching(k.Text, k.Field)
-	out := make(Set, len(ids))
-	for _, id := range ids {
-		out[rdf.IRI(id)] = struct{}{}
+	return e.setFromDocIDs(e.text.Matching(k.Text, k.Field))
+}
+
+// setFromDocIDs interns text-index document IDs (which are item IRIs) into
+// the engine's dense space.
+func (e *Engine) setFromDocIDs(docs []string) Set {
+	in := e.g.Interner()
+	dense := make([]uint32, len(docs))
+	for i, id := range docs {
+		dense[i] = in.Intern(rdf.IRI(id))
 	}
-	return out
+	return Set{in: in, set: itemset.FromUnsorted(dense)}
 }
 
 // Describe implements Predicate.
@@ -273,12 +344,7 @@ func (m TermMatch) Eval(e *Engine) Set {
 	if e.text == nil || m.Term == "" {
 		return Set{}
 	}
-	ids := e.text.MatchingTerm(m.Term, m.Field)
-	out := make(Set, len(ids))
-	for _, id := range ids {
-		out[rdf.IRI(id)] = struct{}{}
-	}
-	return out
+	return e.setFromDocIDs(e.text.MatchingTerm(m.Term, m.Field))
 }
 
 // Describe implements Predicate.
@@ -322,29 +388,29 @@ func TimeBetween(prop rdf.IRI, from, to time.Time) Range {
 }
 
 // Eval implements Predicate by walking the property's value domain (one
-// reverse-index probe per in-range value, never per item).
+// reverse-index probe per in-range value, never per item), unioning the
+// in-range posting lists through a bitmap.
 func (r Range) Eval(e *Engine) Set {
-	out := make(Set)
-	for _, v := range e.g.ObjectsOf(r.Prop) {
+	b := itemset.NewBits(e.g.Interner().Len())
+	e.g.ForEachValuePosting(r.Prop, func(v rdf.Term, subjects itemset.Set) bool {
 		lit, ok := v.(rdf.Literal)
 		if !ok {
-			continue
+			return true
 		}
 		f, ok := lit.Float()
 		if !ok {
-			continue
+			return true
 		}
 		if r.Min != nil && f < *r.Min {
-			continue
+			return true
 		}
 		if r.Max != nil && f > *r.Max {
-			continue
+			return true
 		}
-		for _, s := range e.g.Subjects(r.Prop, v) {
-			out[s] = struct{}{}
-		}
-	}
-	return out
+		b.AddSet(subjects)
+		return true
+	})
+	return e.setFromIDs(b.Extract())
 }
 
 // Describe implements Predicate.
@@ -410,7 +476,7 @@ func (a And) Eval(e *Engine) Set {
 	}
 	out := a.Ps[0].Eval(e)
 	for _, p := range a.Ps[1:] {
-		if len(out) == 0 {
+		if out.IsEmpty() {
 			return out
 		}
 		out = out.Intersect(p.Eval(e))
@@ -432,7 +498,7 @@ type Or struct {
 
 // Eval implements Predicate.
 func (o Or) Eval(e *Engine) Set {
-	out := make(Set)
+	var out Set
 	for _, p := range o.Ps {
 		out = out.Union(p.Eval(e))
 	}

@@ -67,10 +67,10 @@ func TestPropertyPredicate(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("greek = %v", got)
 	}
-	if n := len(TypeIs(clsRecipe).Eval(e)); n != 5 {
+	if n := TypeIs(clsRecipe).Eval(e).Len(); n != 5 {
 		t.Errorf("TypeIs matched %d", n)
 	}
-	if n := len(Property{pCuisine, rdf.IRI(ex + "Thai")}.Eval(e)); n != 0 {
+	if n := (Property{pCuisine, rdf.IRI(ex + "Thai")}).Eval(e).Len(); n != 0 {
 		t.Errorf("absent value matched %d", n)
 	}
 }
@@ -83,10 +83,10 @@ func TestKeywordPredicate(t *testing.T) {
 		t.Errorf("keyword walnut = %v", got)
 	}
 	// Field scoping and empty text.
-	if n := len(Keyword{Text: "walnut", Field: "body"}.Eval(e)); n != 0 {
+	if n := (Keyword{Text: "walnut", Field: "body"}).Eval(e).Len(); n != 0 {
 		t.Errorf("body-scoped matched %d", n)
 	}
-	if n := len(Keyword{Text: "   "}.Eval(e)); n != 0 {
+	if n := (Keyword{Text: "   "}).Eval(e).Len(); n != 0 {
 		t.Errorf("blank keyword matched %d", n)
 	}
 }
@@ -94,7 +94,7 @@ func TestKeywordPredicate(t *testing.T) {
 func TestKeywordWithoutTextIndex(t *testing.T) {
 	g := rdf.NewGraph()
 	e := NewEngine(g, schema.NewStore(g), nil, func() []rdf.IRI { return nil })
-	if n := len(Keyword{Text: "anything"}.Eval(e)); n != 0 {
+	if n := (Keyword{Text: "anything"}).Eval(e).Len(); n != 0 {
 		t.Errorf("nil index matched %d", n)
 	}
 }
@@ -128,7 +128,7 @@ func TestTimeRangePredicate(t *testing.T) {
 func TestRangeSkipsNonNumeric(t *testing.T) {
 	e, _ := fixture()
 	// cuisine values are IRIs: a range over them matches nothing.
-	if n := len(Between(pCuisine, 0, 1e12).Eval(e)); n != 0 {
+	if n := Between(pCuisine, 0, 1e12).Eval(e).Len(); n != 0 {
 		t.Errorf("range over IRIs matched %d", n)
 	}
 }
@@ -153,10 +153,10 @@ func TestAndOrPredicates(t *testing.T) {
 		t.Errorf("OR = %v", got)
 	}
 	// Empty And = universe; empty Or = nothing.
-	if n := len(And{}.Eval(e)); n != 5 {
+	if n := (And{}).Eval(e).Len(); n != 5 {
 		t.Errorf("empty AND = %d", n)
 	}
-	if n := len(Or{}.Eval(e)); n != 0 {
+	if n := (Or{}).Eval(e).Len(); n != 0 {
 		t.Errorf("empty OR = %d", n)
 	}
 }
@@ -286,10 +286,10 @@ func TestPathPropertyPredicate(t *testing.T) {
 		t.Errorf("len-1 path = %v", got)
 	}
 	// Empty path and dead-end values match nothing.
-	if n := len((PathProperty{Value: ir}).Eval(e)); n != 0 {
+	if n := (PathProperty{Value: ir}).Eval(e).Len(); n != 0 {
 		t.Errorf("empty path matched %d", n)
 	}
-	if n := len((PathProperty{Path: []rdf.IRI{pAuthor, pField}, Value: iri("none")}).Eval(e)); n != 0 {
+	if n := (PathProperty{Path: []rdf.IRI{pAuthor, pField}, Value: iri("none")}).Eval(e).Len(); n != 0 {
 		t.Errorf("dead end matched %d", n)
 	}
 	l := func(r rdf.IRI) string { return r.LocalName() }
@@ -305,7 +305,7 @@ func TestTermMatchPredicate(t *testing.T) {
 	if !reflect.DeepEqual(got, []rdf.IRI{iri("r2"), iri("r4")}) {
 		t.Errorf("TermMatch = %v", got)
 	}
-	if n := len(TermMatch{Term: "walnut", Field: "body"}.Eval(e)); n != 0 {
+	if n := (TermMatch{Term: "walnut", Field: "body"}).Eval(e).Len(); n != 0 {
 		t.Errorf("wrong field matched %d", n)
 	}
 	l := func(r rdf.IRI) string { return r.LocalName() }
@@ -327,13 +327,14 @@ type maxValues struct {
 }
 
 func (m maxValues) Eval(e *Engine) Set {
-	out := make(Set)
-	for it := range e.Universe() {
+	var matched []rdf.IRI
+	e.Universe().ForEach(func(it rdf.IRI) bool {
 		if e.Graph().ObjectCount(it, m.prop) <= m.max {
-			out[it] = struct{}{}
+			matched = append(matched, it)
 		}
-	}
-	return out
+		return true
+	})
+	return e.NewSet(matched...)
 }
 func (m maxValues) Describe(l Labeler) string {
 	return fmt.Sprintf("≤ %d %s values", m.max, l(m.prop))
@@ -377,7 +378,7 @@ func TestQuickBooleanAlgebra(t *testing.T) {
 			return false
 		}
 		// p ∧ ¬p == ∅
-		if len(And{[]Predicate{p, Not{p}}}.Eval(e)) != 0 {
+		if (And{[]Predicate{p, Not{p}}}).Eval(e).Len() != 0 {
 			return false
 		}
 		return true

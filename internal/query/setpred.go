@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"magnet/internal/itemset"
 	"magnet/internal/rdf"
 )
 
@@ -21,15 +22,14 @@ type AnyValueIn struct {
 	Name string
 }
 
-// Eval implements Predicate via one reverse-index probe per value.
+// Eval implements Predicate via one reverse-index probe per value; the
+// posting lists are unioned through a bitmap.
 func (p AnyValueIn) Eval(e *Engine) Set {
-	out := make(Set)
+	b := itemset.NewBits(e.g.Interner().Len())
 	for _, v := range p.Values {
-		for _, s := range e.g.Subjects(p.Prop, v) {
-			out[s] = struct{}{}
-		}
+		b.AddSet(e.g.SubjectIDSet(p.Prop, v))
 	}
-	return out
+	return e.setFromIDs(b.Extract())
 }
 
 // Describe implements Predicate.
@@ -65,25 +65,28 @@ type AllValuesIn struct {
 // must have at least one value in the set), then each candidate's full
 // value list is checked for containment.
 func (p AllValuesIn) Eval(e *Engine) Set {
-	allowed := make(map[string]struct{}, len(p.Values))
-	for _, v := range p.Values {
-		allowed[v.Key()] = struct{}{}
+	allowed := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		allowed[i] = v.Key()
+	}
+	sort.Strings(allowed)
+	inAllowed := func(k string) bool {
+		i := sort.SearchStrings(allowed, k)
+		return i < len(allowed) && allowed[i] == k
 	}
 	candidates := AnyValueIn{Prop: p.Prop, Values: p.Values}.Eval(e)
-	out := make(Set)
-	for it := range candidates {
-		ok := true
+	kept := make([]uint32, 0, candidates.Len())
+	candidates.IDs().ForEach(func(id uint32) bool {
+		it := e.g.SubjectByID(id)
 		for _, v := range e.g.Objects(it, p.Prop) {
-			if _, in := allowed[v.Key()]; !in {
-				ok = false
-				break
+			if !inAllowed(v.Key()) {
+				return true
 			}
 		}
-		if ok {
-			out[it] = struct{}{}
-		}
-	}
-	return out
+		kept = append(kept, id)
+		return true
+	})
+	return e.setFromIDs(itemset.FromSorted(kept))
 }
 
 // Describe implements Predicate.

@@ -35,7 +35,7 @@ func TestAnyValueIn(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("AnyValueIn = %v", got)
 	}
-	if n := len((AnyValueIn{Prop: pIngredient}).Eval(e)); n != 0 {
+	if n := (AnyValueIn{Prop: pIngredient}).Eval(e).Len(); n != 0 {
 		t.Errorf("empty value set matched %d", n)
 	}
 }

@@ -3,6 +3,9 @@ package rdf
 import (
 	"sort"
 	"sync"
+
+	"magnet/internal/ids"
+	"magnet/internal/itemset"
 )
 
 // Graph is an in-memory, concurrency-safe, indexed triple store. It
@@ -10,19 +13,34 @@ import (
 // so that both forward navigation (attributes of an item) and reverse
 // navigation (items with a given attribute value) are O(result).
 //
-// All read accessors return freshly allocated, deterministically ordered
-// slices so callers may retain and mutate them, and so navigation panes
-// render identically run to run.
+// The graph owns the engine's subject interner: every subject is assigned a
+// dense uint32 item ID on first insertion, and the reverse (pos) index
+// stores sorted posting lists of those IDs. Hot layers (query, facets, vsm)
+// consume the ID-plane accessors (SubjectIDSet, AllSubjectIDs,
+// ForEachValuePosting) and rehydrate IRIs only at the render boundary;
+// posting lists are copy-on-write, so a returned itemset.Set stays valid
+// across later mutations.
+//
+// All IRI-level read accessors return freshly allocated, deterministically
+// ordered slices so callers may retain and mutate them, and so navigation
+// panes render identically run to run.
 type Graph struct {
 	mu sync.RWMutex
 
 	// spo: subject → predicate → object key → object term.
 	spo map[IRI]map[IRI]map[string]Term
-	// pos: predicate → object key → subject set.
-	pos map[IRI]map[string]map[IRI]struct{}
+	// pos: predicate → object key → sorted subject-ID posting list
+	// (copy-on-write: slices are never mutated in place once published).
+	pos map[IRI]map[string][]uint32
 	// terms interns object terms by key, for recovering a Term from an
 	// index key.
 	terms map[string]Term
+
+	// in assigns dense item IDs to subjects, append-only; subjIDs is the
+	// sorted copy-on-write posting of all live subjects (those with at
+	// least one triple).
+	in      *ids.Interner[IRI]
+	subjIDs []uint32
 
 	size    int
 	version uint64
@@ -32,8 +50,9 @@ type Graph struct {
 func NewGraph() *Graph {
 	return &Graph{
 		spo:   make(map[IRI]map[IRI]map[string]Term),
-		pos:   make(map[IRI]map[string]map[IRI]struct{}),
+		pos:   make(map[IRI]map[string][]uint32),
 		terms: make(map[string]Term),
+		in:    ids.NewInterner[IRI](),
 	}
 }
 
@@ -81,17 +100,17 @@ func (g *Graph) addLocked(s, p IRI, o Term) bool {
 	}
 	objs[ok] = o
 
+	sid := g.in.Intern(s)
 	os := g.pos[p]
 	if os == nil {
-		os = make(map[string]map[IRI]struct{})
+		os = make(map[string][]uint32)
 		g.pos[p] = os
 	}
-	subs := os[ok]
-	if subs == nil {
-		subs = make(map[IRI]struct{})
-		os[ok] = subs
+	os[ok] = insertID(os[ok], sid)
+	if len(po) == 1 && len(objs) == 1 {
+		// First triple of s: it just became a live subject.
+		g.subjIDs = insertID(g.subjIDs, sid)
 	}
-	subs[s] = struct{}{}
 
 	if _, seen := g.terms[ok]; !seen {
 		g.terms[ok] = o
@@ -99,6 +118,49 @@ func (g *Graph) addLocked(s, p IRI, o Term) bool {
 	g.size++
 	g.version++
 	return true
+}
+
+// insertID returns a sorted slice containing ids plus id. The input is
+// never mutated (copy-on-write), so posting views handed out earlier stay
+// immutable snapshots.
+func insertID(ids []uint32, id uint32) []uint32 {
+	i := searchU32(ids, id)
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	out := make([]uint32, len(ids)+1)
+	copy(out, ids[:i])
+	out[i] = id
+	copy(out[i+1:], ids[i:])
+	return out
+}
+
+// removeID returns a sorted slice containing ids minus id, copy-on-write.
+func removeID(ids []uint32, id uint32) []uint32 {
+	i := searchU32(ids, id)
+	if i >= len(ids) || ids[i] != id {
+		return ids
+	}
+	if len(ids) == 1 {
+		return nil
+	}
+	out := make([]uint32, len(ids)-1)
+	copy(out, ids[:i])
+	copy(out[i:], ids[i+1:])
+	return out
+}
+
+func searchU32(ids []uint32, id uint32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Version returns a counter that changes on every successful mutation;
@@ -119,19 +181,22 @@ func (g *Graph) Remove(s, p IRI, o Term) bool {
 		return false
 	}
 	delete(objs, ok)
+	sid, _ := g.in.Lookup(s)
 	if len(objs) == 0 {
 		delete(g.spo[s], p)
 		if len(g.spo[s]) == 0 {
 			delete(g.spo, s)
+			g.subjIDs = removeID(g.subjIDs, sid)
 		}
 	}
-	subs := g.pos[p][ok]
-	delete(subs, s)
+	subs := removeID(g.pos[p][ok], sid)
 	if len(subs) == 0 {
 		delete(g.pos[p], ok)
 		if len(g.pos[p]) == 0 {
 			delete(g.pos, p)
 		}
+	} else {
+		g.pos[p][ok] = subs
 	}
 	g.size--
 	g.version++
@@ -190,15 +255,12 @@ func (g *Graph) ObjectCount(s, p IRI) int {
 // Subjects returns all subjects of triples (·, p, o), sorted.
 func (g *Graph) Subjects(p IRI, o Term) []IRI {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
 	subs := g.pos[p][o.Key()]
+	g.mu.RUnlock()
 	if len(subs) == 0 {
 		return nil
 	}
-	out := make([]IRI, 0, len(subs))
-	for s := range subs {
-		out = append(out, s)
-	}
+	out := g.in.AppendKeys(make([]IRI, 0, len(subs)), subs)
 	sortIRIs(out)
 	return out
 }
@@ -273,18 +335,96 @@ func (g *Graph) ObjectsOf(p IRI) []Term {
 // SubjectsWithProperty returns the distinct subjects carrying any value of
 // predicate p, sorted (the property's coverage set).
 func (g *Graph) SubjectsWithProperty(p IRI) []IRI {
+	set := g.SubjectIDsWithProperty(p)
+	if set.IsEmpty() {
+		return nil
+	}
+	out := g.in.AppendKeys(make([]IRI, 0, set.Len()), set.Slice())
+	sortIRIs(out)
+	return out
+}
+
+// --- ID plane -------------------------------------------------------------
+
+// Interner exposes the graph-owned subject interner so sibling indexes
+// (text, vector) can share the same dense ID space.
+func (g *Graph) Interner() *ids.Interner[IRI] { return g.in }
+
+// SubjectID returns the dense item ID of s and whether s has ever been
+// interned. IDs are assigned on first Add and never reused.
+func (g *Graph) SubjectID(s IRI) (uint32, bool) { return g.in.Lookup(s) }
+
+// SubjectByID rehydrates a dense item ID back to its IRI.
+func (g *Graph) SubjectByID(id uint32) IRI { return g.in.Key(id) }
+
+// SubjectIDSet returns the posting list of (·, p, o) as a dense ID set —
+// an immutable snapshot (postings are copy-on-write), shared with the
+// index, so this is allocation-free.
+func (g *Graph) SubjectIDSet(p IRI, o Term) itemset.Set {
 	g.mu.RLock()
-	set := make(map[IRI]struct{})
-	for _, subs := range g.pos[p] {
-		for s := range subs {
-			set[s] = struct{}{}
-		}
+	defer g.mu.RUnlock()
+	return itemset.FromSorted(g.pos[p][o.Key()])
+}
+
+// AllSubjectIDs returns the IDs of every live subject as an immutable
+// snapshot, allocation-free.
+func (g *Graph) AllSubjectIDs() itemset.Set {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return itemset.FromSorted(g.subjIDs)
+}
+
+// SubjectIDsWithProperty returns the IDs of subjects carrying any value of
+// predicate p (the property's coverage set), unioned via bitmap.
+func (g *Graph) SubjectIDsWithProperty(p IRI) itemset.Set {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	os := g.pos[p]
+	if len(os) == 0 {
+		return itemset.Set{}
+	}
+	b := itemset.NewBits(g.in.Len())
+	for _, subs := range os {
+		b.AddSlice(subs)
+	}
+	return b.Extract()
+}
+
+// ForEachValuePosting calls f for every distinct value of predicate p with
+// its subject posting list, in ascending object-key order, until f returns
+// false. The posting sets are immutable snapshots; f runs without the
+// graph lock held.
+func (g *Graph) ForEachValuePosting(p IRI, f func(o Term, subjects itemset.Set) bool) {
+	g.mu.RLock()
+	os := g.pos[p]
+	type valuePosting struct {
+		key  string // the term's serialized key — the pos map key, precomputed
+		o    Term
+		subs []uint32
+	}
+	vals := make([]valuePosting, 0, len(os))
+	for k, subs := range os {
+		vals = append(vals, valuePosting{k, g.terms[k], subs})
 	}
 	g.mu.RUnlock()
-	out := make([]IRI, 0, len(set))
-	for s := range set {
-		out = append(out, s)
+	// Sorting by the stored key avoids re-serializing every term O(n log n)
+	// times in the comparator.
+	sort.Slice(vals, func(i, j int) bool { return vals[i].key < vals[j].key })
+	for _, v := range vals {
+		if !f(v.o, itemset.FromSorted(v.subs)) {
+			return
+		}
 	}
+}
+
+// SubjectsFromIDs rehydrates a slice of item IDs to IRIs, sorted lexically
+// — the render-boundary conversion that keeps pane output byte-identical
+// to the string-keyed engine (ID order is interning order, not lexical).
+func (g *Graph) SubjectsFromIDs(ids []uint32) []IRI {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := g.in.AppendKeys(make([]IRI, 0, len(ids)), ids)
 	sortIRIs(out)
 	return out
 }

@@ -1,7 +1,6 @@
 package simuser
 
 import (
-	"sort"
 	"strings"
 
 	"magnet/internal/blackboard"
@@ -44,8 +43,8 @@ func targetConnectivity(corpusRecipes int) int {
 // Deterministic across runs.
 func (e *studyEnv) prepare() {
 	walnut := recipes.Ingredient("Walnuts")
+	// Subjects returns lexically sorted IRIs already.
 	candidates := e.graph.Subjects(recipes.PropIngredient, walnut)
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
 	want := targetConnectivity(len(e.graph.SubjectsOfType(recipes.ClassRecipe)))
 	best, bestDist := rdf.IRI(""), 1<<30

@@ -136,7 +136,7 @@ func (m *Model) NumericRange(path []rdf.IRI) (Range, bool) {
 func (m *Model) IndexAll(items []rdf.IRI) {
 	m.stats = make(map[string]*Range)
 	for _, it := range items {
-		m.walk(it, nil, make(map[rdf.IRI]bool), m.statsVisitor())
+		m.walk(it, nil, m.statsVisitor())
 	}
 
 	workers := runtime.GOMAXPROCS(0)
@@ -207,7 +207,7 @@ func (m *Model) statsVisitor() visitor {
 // experiment.
 func (m *Model) Vectorize(item rdf.IRI) map[string]float64 {
 	out := make(map[string]float64)
-	m.walk(item, nil, make(map[rdf.IRI]bool), m.coordVisitor(out))
+	m.walk(item, nil, m.coordVisitor(out))
 	return out
 }
 
@@ -219,13 +219,23 @@ func (m *Model) coordVisitor(out map[string]float64) visitor {
 
 // walk traverses the item's attributes (and composed attributes) calling v
 // for every (path, values) pair.
-func (m *Model) walk(node rdf.IRI, prefix []rdf.IRI, visited map[rdf.IRI]bool, v visitor) {
-	m.walkRec(node, prefix, visited, 1, v)
+func (m *Model) walk(node rdf.IRI, prefix []rdf.IRI, v visitor) {
+	m.walkRec(node, prefix, make([]rdf.IRI, 0, 8), 1, v)
 }
 
-func (m *Model) walkRec(node rdf.IRI, prefix []rdf.IRI, visited map[rdf.IRI]bool, weight float64, v visitor) {
-	visited[node] = true
-	defer delete(visited, node)
+// onPath is the stack of nodes on the current recursion path (cycle guard);
+// composition depth is small, so a linear scan beats hashing every node.
+func onPathContains(onPath []rdf.IRI, node rdf.IRI) bool {
+	for _, n := range onPath {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Model) walkRec(node rdf.IRI, prefix, onPath []rdf.IRI, weight float64, v visitor) {
+	onPath = append(onPath, node)
 
 	tree := m.sch.TreeShaped()
 	maxDepth := m.opts.maxDepth(tree)
@@ -256,10 +266,10 @@ func (m *Model) walkRec(node rdf.IRI, prefix []rdf.IRI, visited map[rdf.IRI]bool
 		}
 		for _, val := range values {
 			obj, ok := val.(rdf.IRI)
-			if !ok || visited[obj] {
+			if !ok || onPathContains(onPath, obj) {
 				continue
 			}
-			m.walkRec(obj, path, visited, childWeight, v)
+			m.walkRec(obj, path, onPath, childWeight, v)
 		}
 	}
 }
