@@ -8,12 +8,19 @@
 //
 //	magnet-eval -exp fig1|fig2|fig5|fig6|fig7|fig8|factbook|courses|all
 //	            [-recipes N] [-seed N]
+//	magnet-eval -trace [-exp P5|fig2]
+//
+// -trace runs one navigation step (query → blackboard → advisors →
+// overview) under obs tracing and prints the span tree with per-stage
+// durations instead of the experiment output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"magnet/internal/annotate"
 	"magnet/internal/blackboard"
@@ -25,6 +32,7 @@ import (
 	"magnet/internal/datasets/recipes"
 	"magnet/internal/datasets/states"
 	"magnet/internal/facets"
+	"magnet/internal/obs"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
 	"magnet/internal/render"
@@ -54,7 +62,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig1, fig2, fig5, fig6, fig7, fig8, factbook, courses, or all")
 	nRecipes := flag.Int("recipes", 6444, "recipe corpus size")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	trace := flag.Bool("trace", false, "trace one navigation step (-exp P5 or fig2) and print its span tree")
 	flag.Parse()
+
+	if *trace {
+		traceExp(*exp, *nRecipes, *seed)
+		return
+	}
 
 	runners := map[string]func(int, int64){
 		"fig1":     fig1,
@@ -85,6 +99,59 @@ func main() {
 
 func header(title string) {
 	fmt.Printf("\n============ %s ============\n", title)
+}
+
+// traceExp runs one navigation step under obs tracing and prints the span
+// tree (-trace). "P5" is the benchmark conjunction over recipes@6444
+// (Greek|Italian cuisine, no walnuts, at least 4 servings); "fig2" (and
+// the default "all") is the unrefined type query behind the facet
+// overview. The step is query → pane (blackboard + advisors) → overview,
+// the full work behind rendering one collection page.
+func traceExp(exp string, n int, seed int64) {
+	var q query.Query
+	switch exp {
+	case "P5", "p5":
+		q = query.NewQuery(
+			query.TypeIs(recipes.ClassRecipe),
+			query.Or{Ps: []query.Predicate{
+				query.Property{Prop: recipes.PropCuisine, Value: recipes.Cuisine("Greek")},
+				query.Property{Prop: recipes.PropCuisine, Value: recipes.Cuisine("Italian")},
+			}},
+			query.Not{P: query.Property{Prop: recipes.PropIngredient, Value: recipes.Ingredient("Walnuts")}},
+			query.AtLeast(recipes.PropServings, 4),
+		)
+	case "fig2", "all":
+		q = query.NewQuery(query.TypeIs(recipes.ClassRecipe))
+	default:
+		fmt.Fprintf(os.Stderr, "magnet-eval: -trace supports -exp P5 or fig2, not %q\n", exp)
+		os.Exit(2)
+	}
+	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
+	m := core.Open(g, core.Options{})
+	s := m.NewSession()
+
+	ctx, root := obs.StartTrace(context.Background(), "navigation-step")
+	s.SetContext(ctx)
+	start := time.Now()
+	apply(s, blackboard.ReplaceQuery{Query: q})
+	s.Pane()
+	s.Overview(6)
+	total := time.Since(start)
+	root.End()
+	s.SetContext(nil)
+
+	header("trace — one navigation step (" + exp + ")")
+	root.WriteTree(os.Stdout)
+	var staged time.Duration
+	for _, c := range root.Children() {
+		staged += c.Duration()
+	}
+	cover := 0.0
+	if total > 0 {
+		cover = float64(staged) / float64(total)
+	}
+	fmt.Printf("CHECK trace exp=%s spans=%d total=%s stages=%s coverage=%.2f\n",
+		exp, root.Count(), total.Round(time.Microsecond), staged.Round(time.Microsecond), cover)
 }
 
 // fig1 reproduces Figure 1: the navigation pane after refining to Greek

@@ -2,17 +2,30 @@
 // HTTP — the browser-window experience of the paper's Figure 1, on any of
 // the built-in datasets or an N-Triples file.
 //
+// Operational endpoints: /debug/metrics exposes the obs registry as flat
+// JSON (counters, gauges, histograms over query evaluation, the blackboard
+// analysts, index caches, and facet summarization); -pprof additionally
+// mounts net/http/pprof under /debug/pprof/.
+//
 // Usage:
 //
 //	magnet-server [-addr :8080] [-dataset recipes|states|factbook|inbox|courses]
 //	              [-file data.nt] [-recipes N] [-baseline]
+//	              [-log-level info] [-pprof]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"magnet/internal/analysts"
 	"magnet/internal/core"
@@ -22,6 +35,7 @@ import (
 	"magnet/internal/datasets/inbox"
 	"magnet/internal/datasets/recipes"
 	"magnet/internal/datasets/states"
+	"magnet/internal/obs"
 	"magnet/internal/rdf"
 	"magnet/internal/web"
 )
@@ -32,11 +46,21 @@ func main() {
 	file := flag.String("file", "", "serve an N-Triples file instead of a built-in dataset")
 	nRecipes := flag.Int("recipes", 2000, "recipe corpus size")
 	useBaseline := flag.Bool("baseline", false, "use the Flamenco-like baseline advisor set")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "magnet-server: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	g, allSubjects, err := load(*dataset, *file, *nRecipes)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "magnet-server: %v\n", err)
+		logger.Error("load failed", "err", err)
 		os.Exit(1)
 	}
 	opts := core.Options{IndexAllSubjects: allSubjects, SoftEmptyResults: true}
@@ -44,10 +68,50 @@ func main() {
 		opts.Analysts = analysts.BaselineSet
 	}
 	m := core.Open(g, opts)
-	fmt.Printf("magnet-server: %d items indexed; listening on %s\n", len(m.Items()), *addr)
-	if err := http.ListenAndServe(*addr, web.NewServer(m)); err != nil {
-		fmt.Fprintf(os.Stderr, "magnet-server: %v\n", err)
-		os.Exit(1)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", web.NewServer(m, web.WithLogger(logger)))
+	mux.Handle("/debug/metrics", obs.Default.Handler())
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// Generous write timeout so -pprof profile captures (30s default)
+		// fit; page handlers finish in milliseconds.
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr, "dataset", *dataset, "items", len(m.Items()), "pprof", *withPprof)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			logger.Warn("shutdown incomplete", "err", err)
+		}
 	}
 }
 

@@ -168,7 +168,8 @@ func contains(ss []string, s string) bool {
 // All returns the full magnet-vet analyzer set with its production scopes:
 // the locked-field check over the concurrent packages, float equality over
 // scoring/ranking code, error hygiene and map-iteration determinism
-// everywhere, and context placement over the web layer.
+// everywhere, context placement over the web layer, and observability
+// hygiene (no raw prints) over all internal packages.
 func All() []*Analyzer {
 	return []*Analyzer{
 		LockedField(),
@@ -177,6 +178,7 @@ func All() []*Analyzer {
 		MapIter(),
 		CtxFirst("internal/web"),
 		DenseKeys("internal/query", "internal/facets", "internal/vsm", "internal/index"),
+		ObsHygiene("internal/"),
 	}
 }
 
@@ -184,5 +186,5 @@ func All() []*Analyzer {
 // mode magnet-vet uses on an explicit directory (e.g. a fixture package),
 // where all invariants should apply regardless of location.
 func Unscoped() []*Analyzer {
-	return []*Analyzer{LockedField(), FloatEq(), ErrWrap(), MapIter(), CtxFirst(), DenseKeys()}
+	return []*Analyzer{LockedField(), FloatEq(), ErrWrap(), MapIter(), CtxFirst(), DenseKeys(), ObsHygiene()}
 }

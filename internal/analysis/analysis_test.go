@@ -87,6 +87,7 @@ func TestErrWrap(t *testing.T)     { runFixture(t, ErrWrap(), "errwrap") }
 func TestMapIter(t *testing.T)     { runFixture(t, MapIter(), "mapiter") }
 func TestCtxFirst(t *testing.T)    { runFixture(t, CtxFirst(), "ctxfirst") }
 func TestDenseKeys(t *testing.T)   { runFixture(t, DenseKeys(), "densekeys") }
+func TestObsHygiene(t *testing.T)  { runFixture(t, ObsHygiene(), "obshygiene") }
 
 // TestScopeRestrictsFiles checks that a scoped analyzer skips packages
 // outside its path scope entirely.

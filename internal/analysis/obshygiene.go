@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsBanned lists the fmt and log package functions internal code must not
+// call: unstructured prints bypass the obs layer and the slog access/error
+// logs, so their output is invisible to /debug/metrics and unparseable in
+// production. fmt's Sprint/Fprint/Errorf family stays legal — only direct
+// writes to stdout/stderr and the legacy global logger are banned.
+var obsBanned = map[string]map[string]bool{
+	"fmt": {
+		"Print":   true,
+		"Printf":  true,
+		"Println": true,
+	},
+	"log": {
+		"Print":   true,
+		"Printf":  true,
+		"Println": true,
+		"Fatal":   true,
+		"Fatalf":  true,
+		"Fatalln": true,
+		"Panic":   true,
+		"Panicf":  true,
+		"Panicln": true,
+	},
+}
+
+// ObsHygiene bans fmt.Print* and the legacy log package in scoped code:
+// internal packages log through log/slog or record through internal/obs,
+// never straight to stdout. Commands (cmd/...) stay free to print — they
+// own their stdout.
+func ObsHygiene(scope ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "obshygiene",
+		Doc:   "internal packages must use log/slog or internal/obs, not fmt.Print*/log.Print*",
+		Scope: scope,
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				path := pkgName.Imported().Path()
+				if obsBanned[path][sel.Sel.Name] {
+					pass.Reportf(call.Pos(), "%s.%s writes outside the observability layer; use log/slog (or internal/obs)", path, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,36 @@
+// Package obshygiene is a magnet-vet fixture: each violation line carries
+// an expectation comment, allowed patterns carry none.
+package obshygiene
+
+import (
+	"fmt"
+	stdlog "log"
+	"log/slog"
+	"os"
+)
+
+func bad() {
+	fmt.Println("boot")           // want "fmt.Println writes outside the observability layer"
+	fmt.Printf("items=%d\n", 3)   // want "fmt.Printf writes outside the observability layer"
+	fmt.Print("x")                // want "fmt.Print writes outside the observability layer"
+	stdlog.Println("legacy")      // want "log.Println writes outside the observability layer"
+	stdlog.Printf("legacy %d", 1) // want "log.Printf writes outside the observability layer"
+	stdlog.Fatalf("dead: %d", 2)  // want "log.Fatalf writes outside the observability layer"
+}
+
+func good() {
+	slog.Info("boot", "items", 3)
+	_ = fmt.Sprintf("items=%d", 3)     // building strings is fine
+	fmt.Fprintf(os.Stderr, "usage:\n") // explicit writer is fine
+	_ = fmt.Errorf("wrapped: %w", os.ErrNotExist)
+}
+
+// logf is a local identifier, not the log package; must not be flagged.
+type logger struct{}
+
+func (logger) Println(v ...any) {}
+
+func shadowed() {
+	var log logger
+	log.Println("local method")
+}

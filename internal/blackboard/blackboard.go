@@ -11,10 +11,14 @@
 package blackboard
 
 import (
+	"context"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"magnet/internal/facets"
+	"magnet/internal/obs"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
 )
@@ -226,6 +230,13 @@ func (b *Board) Suggestions() []Suggestion {
 	return out
 }
 
+// Len returns the number of accepted suggestions.
+func (b *Board) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.suggestions)
+}
+
 // ByAdvisor returns posted suggestions grouped by advisor name.
 func (b *Board) ByAdvisor() map[string][]Suggestion {
 	out := make(map[string][]Suggestion)
@@ -255,11 +266,63 @@ type Reactor interface {
 	React(v View, posted []Suggestion, b *Board)
 }
 
+// Blackboard-stage observability. The per-run instruments are package
+// level; per-analyst instruments are resolved once at Register time (the
+// registry lookup involves a lock, so it must not sit on the run path).
+var (
+	runCount       = obs.NewCounter("blackboard.run.count")
+	runNS          = obs.NewHistogram("blackboard.run.ns")
+	runSuggestions = obs.NewHistogram("blackboard.run.suggestions")
+	primaryRounds  = obs.NewCounter("blackboard.rounds.primary")
+	reactorRounds  = obs.NewCounter("blackboard.rounds.reactor")
+	postedTotal    = obs.NewCounter("blackboard.suggestions.posted")
+)
+
+// analystInstrument carries one analyst's metric handles.
+type analystInstrument struct {
+	runs        *obs.Counter
+	ns          *obs.Histogram
+	suggestions *obs.Counter
+}
+
+// metricSlug converts an analyst's display name to a metric path segment:
+// lowercase, with runs of non-alphanumerics collapsed to '_'
+// ("Related Items" → "related_items").
+func metricSlug(name string) string {
+	var b strings.Builder
+	pendingSep := false
+	for _, r := range strings.ToLower(name) {
+		alnum := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if !alnum {
+			pendingSep = b.Len() > 0
+			continue
+		}
+		if pendingSep {
+			b.WriteByte('_')
+			pendingSep = false
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func newAnalystInstrument(name string) analystInstrument {
+	prefix := "blackboard.analyst." + metricSlug(name)
+	return analystInstrument{
+		runs:        obs.NewCounter(prefix + ".runs"),
+		ns:          obs.NewHistogram(prefix + ".ns"),
+		suggestions: obs.NewCounter(prefix + ".suggestions"),
+	}
+}
+
 // Registry holds the configured analysts and runs them over views.
 type Registry struct {
 	mu sync.RWMutex
 	// analysts is the registered advisor list; guarded by mu.
 	analysts []Analyst
+	// instruments holds per-analyst metric handles, parallel to analysts;
+	// guarded by mu.
+	instruments []analystInstrument
 }
 
 // NewRegistry returns a registry with the given analysts.
@@ -275,6 +338,9 @@ func (r *Registry) Register(analysts ...Analyst) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.analysts = append(r.analysts, analysts...)
+	for _, a := range analysts {
+		r.instruments = append(r.instruments, newAnalystInstrument(a.Name()))
+	}
 }
 
 // Names returns the registered analyst names, in registration order.
@@ -291,26 +357,79 @@ func (r *Registry) Names() []string {
 // Run triggers all matching analysts over the view, then gives reactors one
 // round over the posted results, and returns the filled board.
 func (r *Registry) Run(v View) *Board {
+	return r.RunContext(context.Background(), v)
+}
+
+// RunContext is Run with per-stage observability: every triggered analyst
+// is timed (metrics always; an analyst.<name> span when ctx carries a
+// trace) with its accepted-suggestion count recorded, and the primary and
+// reactor rounds are counted separately (the §4.3 "triggered by results
+// from other analysts" round).
+func (r *Registry) RunContext(ctx context.Context, v View) *Board {
 	r.mu.RLock()
 	analysts := make([]Analyst, len(r.analysts))
 	copy(analysts, r.analysts)
+	instruments := make([]analystInstrument, len(r.instruments))
+	copy(instruments, r.instruments)
 	r.mu.RUnlock()
 
+	ctx, sp := obs.StartSpan(ctx, "blackboard.run")
+	start := time.Now()
 	b := NewBoard()
-	var triggered []Analyst
-	for _, a := range analysts {
-		if a.Triggered(v) {
-			triggered = append(triggered, a)
+	var triggered []int
+	for i, a := range analysts {
+		if !a.Triggered(v) {
+			continue
+		}
+		triggered = append(triggered, i)
+		runAnalyst(ctx, "analyst.", a.Name(), instruments[i], b, func() {
 			a.Suggest(v, b)
+		})
+	}
+	primaryRounds.Inc()
+	if len(triggered) > 0 {
+		posted := b.Suggestions()
+		reacted := false
+		for _, i := range triggered {
+			re, ok := analysts[i].(Reactor)
+			if !ok {
+				continue
+			}
+			reacted = true
+			runAnalyst(ctx, "react.", re.Name(), instruments[i], b, func() {
+				re.React(v, posted, b)
+			})
+		}
+		if reacted {
+			reactorRounds.Inc()
 		}
 	}
-	posted := b.Suggestions()
-	for _, a := range triggered {
-		if re, ok := a.(Reactor); ok {
-			re.React(v, posted, b)
-		}
-	}
+	total := b.Len()
+	runCount.Inc()
+	runNS.ObserveSince(start)
+	runSuggestions.Observe(int64(total))
+	postedTotal.Add(uint64(total))
+	sp.SetInt("analysts", len(triggered))
+	sp.SetInt("suggestions", total)
+	sp.End()
 	return b
+}
+
+// runAnalyst times one analyst invocation, recording its duration, run
+// count and the number of suggestions the board accepted from it.
+func runAnalyst(ctx context.Context, spanPrefix, name string, in analystInstrument, b *Board, fn func()) {
+	_, sp := obs.StartSpan(ctx, spanPrefix+name)
+	before := b.Len()
+	start := time.Now()
+	fn()
+	in.runs.Inc()
+	in.ns.ObserveSince(start)
+	accepted := b.Len() - before
+	if accepted > 0 {
+		in.suggestions.Add(uint64(accepted))
+	}
+	sp.SetInt("suggestions", accepted)
+	sp.End()
 }
 
 // SelectTop returns up to n suggestions with the highest weights from the

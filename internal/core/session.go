@@ -1,16 +1,30 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"magnet/internal/advisors"
 	"magnet/internal/analysts"
 	"magnet/internal/blackboard"
 	"magnet/internal/facets"
 	"magnet/internal/history"
+	"magnet/internal/obs"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
+)
+
+// Session-step observability: how often each navigation step runs and how
+// long it takes end to end (query evaluation, pane assembly, overview).
+var (
+	stepQueryCount    = obs.NewCounter("session.query.count")
+	stepQueryNS       = obs.NewHistogram("session.query.ns")
+	stepPaneCount     = obs.NewCounter("session.pane.count")
+	stepPaneNS        = obs.NewHistogram("session.pane.ns")
+	stepOverviewCount = obs.NewCounter("session.overview.count")
+	stepOverviewNS    = obs.NewHistogram("session.overview.ns")
 )
 
 // Session is one user's navigation session: the current view, the history
@@ -24,6 +38,11 @@ type Session struct {
 	views    map[string]blackboard.View
 	current  blackboard.View
 	compound *compoundState
+
+	// ctx is the ambient context session steps run under; when it carries a
+	// trace (obs.StartTrace) every step emits a span tree. Defaults to
+	// context.Background().
+	ctx context.Context
 }
 
 // NewSession starts a session at the all-items collection.
@@ -33,6 +52,7 @@ func (m *Magnet) NewSession() *Session {
 		tracker: history.NewTracker(),
 		views:   make(map[string]blackboard.View),
 		cfgs:    m.opts.AdvisorConfigs,
+		ctx:     context.Background(),
 	}
 	if s.cfgs == nil {
 		s.cfgs = advisors.DefaultConfigs()
@@ -80,6 +100,21 @@ func (s *Session) Items() []rdf.IRI {
 // History returns the session's tracker (read access for advisors/tests).
 func (s *Session) History() *history.Tracker { return s.tracker }
 
+// SetContext sets the ambient context for subsequent session steps; pass a
+// context from obs.StartTrace to capture a span tree for one navigation
+// step. A nil ctx resets to context.Background(). Like all session state,
+// this is single-user: callers serializing access to the session (e.g. the
+// web layer) must set and reset it under the same lock.
+func (s *Session) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+}
+
+// Context returns the session's ambient context.
+func (s *Session) Context() context.Context { return s.ctx }
+
 func (s *Session) goTo(v blackboard.View) {
 	s.current = v
 	key := v.Key()
@@ -88,9 +123,15 @@ func (s *Session) goTo(v blackboard.View) {
 }
 
 func (s *Session) goToQuery(q query.Query) {
-	items := s.m.eng.Evaluate(q)
+	ctx, sp := obs.StartSpan(s.ctx, "session.query")
+	start := time.Now()
+	items := s.m.eng.EvalContext(ctx, q).Items()
 	s.tracker.PushQuery(q)
 	s.goTo(blackboard.CollectionView(q, items))
+	stepQueryCount.Inc()
+	stepQueryNS.ObserveSince(start)
+	sp.SetInt("items", len(items))
+	sp.End()
 }
 
 // Search starts a fresh keyword query (the toolbar of §3.1: "a search may
@@ -191,7 +232,7 @@ func (s *Session) Back() bool {
 	if !ok {
 		return false
 	}
-	items := s.m.eng.Evaluate(q)
+	items := s.m.eng.EvalContext(s.ctx, q).Items()
 	s.goTo(blackboard.CollectionView(q, items))
 	return true
 }
@@ -230,21 +271,38 @@ func (s *Session) ApplySuggestion(sg blackboard.Suggestion) error {
 // Board runs the analysts over the current view and returns the raw
 // blackboard (tests and power tools).
 func (s *Session) Board() *blackboard.Board {
-	return s.registry.Run(s.current)
+	return s.registry.RunContext(s.ctx, s.current)
 }
 
 // Pane runs the analysts and assembles the navigation pane for the current
 // view (the left side of Figure 1).
 func (s *Session) Pane() advisors.Pane {
-	return advisors.Build(s.current.Query, s.m.Labeler(), s.Board(), s.cfgs)
+	ctx, sp := obs.StartSpan(s.ctx, "session.pane")
+	start := time.Now()
+	board := s.registry.RunContext(ctx, s.current)
+	_, bsp := obs.StartSpan(ctx, "advisors.build")
+	pane := advisors.Build(s.current.Query, s.m.Labeler(), board, s.cfgs)
+	bsp.End()
+	stepPaneCount.Inc()
+	stepPaneNS.ObserveSince(start)
+	sp.SetInt("suggestions", board.Len())
+	sp.End()
+	return pane
 }
 
 // Overview computes the large-collection facet overview (Figure 2): value
 // histograms per property, ordered by usefulness, values by count.
 func (s *Session) Overview(maxValues int) []facets.Facet {
+	ctx, sp := obs.StartSpan(s.ctx, "session.overview")
+	start := time.Now()
 	items := s.Items()
-	return facets.Summarize(s.m.g, s.m.sch, items, facets.Options{
+	fs := facets.SummarizeContext(ctx, s.m.g, s.m.sch, items, facets.Options{
 		MaxValues: maxValues,
 		ByCount:   true,
 	})
+	stepOverviewCount.Inc()
+	stepOverviewNS.ObserveSince(start)
+	sp.SetInt("facets", len(fs))
+	sp.End()
+	return fs
 }

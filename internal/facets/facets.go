@@ -6,12 +6,25 @@
 package facets
 
 import (
+	"context"
 	"math"
 	"sort"
+	"time"
 
 	"magnet/internal/itemset"
+	"magnet/internal/obs"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
+)
+
+// Facet-summarization observability: how often the navigation pane / Figure 2
+// overview aggregation runs, how long it takes, and how many facets survive
+// filtering. Recorded unconditionally in Summarize; SummarizeContext adds a
+// span when the caller's context carries a trace.
+var (
+	summarizeCount  = obs.NewCounter("facets.summarize.count")
+	summarizeNS     = obs.NewHistogram("facets.summarize.ns")
+	summarizeFacets = obs.NewHistogram("facets.summarize.facets")
 )
 
 // Value is one attribute value with its occurrence count in the collection.
@@ -77,6 +90,7 @@ type Options struct {
 // sorted itemset, and each property's per-value histogram is a sequence of
 // posting-list intersections — no per-item hashing, no per-value maps.
 func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) []Facet {
+	start := time.Now()
 	collIDs := make([]uint32, 0, len(items))
 	for _, it := range items {
 		// Items absent from the graph carry no properties.
@@ -168,6 +182,21 @@ func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) [
 		}
 		return facets[i].Label < facets[j].Label
 	})
+	summarizeCount.Inc()
+	summarizeNS.ObserveSince(start)
+	summarizeFacets.Observe(int64(len(facets)))
+	return facets
+}
+
+// SummarizeContext is Summarize with tracing: when ctx carries a trace
+// (obs.StartTrace) the aggregation appears as a facets.summarize span
+// annotated with collection size and facet count.
+func SummarizeContext(ctx context.Context, g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) []Facet {
+	_, sp := obs.StartSpan(ctx, "facets.summarize")
+	facets := Summarize(g, sch, items, opts)
+	sp.SetInt("items", len(items))
+	sp.SetInt("facets", len(facets))
+	sp.End()
 	return facets
 }
 

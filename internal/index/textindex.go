@@ -4,11 +4,34 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"magnet/internal/ids"
 	"magnet/internal/itemset"
+	"magnet/internal/obs"
 	"magnet/internal/text"
 )
+
+// Text-index observability: one counter + duration histogram per lookup
+// entry point (boolean matching, single-term matching, ranked search).
+// Handles are package level so the per-call cost is two atomic adds.
+var (
+	textMatchingObs = opObs{obs.NewCounter("index.text.matching.count"), obs.NewHistogram("index.text.matching.ns")}
+	textTermObs     = opObs{obs.NewCounter("index.text.term.count"), obs.NewHistogram("index.text.term.ns")}
+	textSearchObs   = opObs{obs.NewCounter("index.text.search.count"), obs.NewHistogram("index.text.search.ns")}
+)
+
+// opObs pairs the instruments of one operation; observe is designed for
+// `defer o.observe(time.Now())`.
+type opObs struct {
+	count *obs.Counter
+	ns    *obs.Histogram
+}
+
+func (o opObs) observe(start time.Time) {
+	o.count.Inc()
+	o.ns.ObserveSince(start)
+}
 
 // AnyField is the pseudo-field matching every indexed field in a TextIndex
 // query.
@@ -277,6 +300,7 @@ func (ix *TextIndex) rehydrate(set itemset.Set) []string {
 // already-analyzed term in the given field (AnyField spans all fields). No
 // analysis is applied to the input.
 func (ix *TextIndex) MatchingTerm(term, field string) []string {
+	defer textTermObs.observe(time.Now())
 	ix.mu.RLock()
 	set := ix.docnumsWithTermLocked(term, field)
 	if set.IsEmpty() {
@@ -294,6 +318,7 @@ func (ix *TextIndex) MatchingTerm(term, field string) []string {
 // This is the boolean-AND primitive the query engine's keyword predicate
 // resolves through.
 func (ix *TextIndex) Matching(query, field string) []string {
+	defer textMatchingObs.observe(time.Now())
 	terms := ix.analyzer.Terms(query)
 	if len(terms) == 0 {
 		return nil
@@ -327,6 +352,7 @@ func (ix *TextIndex) Matching(query, field string) []string {
 // order, at most k (k ≤ 0 means unlimited). Scores accumulate into a dense
 // docnum-indexed column — no per-document hashing.
 func (ix *TextIndex) Search(query, field string, k int) []Scored {
+	defer textSearchObs.observe(time.Now())
 	terms := ix.analyzer.Terms(query)
 	if len(terms) == 0 {
 		return nil

@@ -13,9 +13,20 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"magnet/internal/ids"
 	"magnet/internal/itemset"
+	"magnet/internal/obs"
+)
+
+// Vector-store observability: hit/miss on the generation-counter vector
+// cache (a miss means buildVectorLocked actually rebuilt) plus similarity
+// retrieval timing.
+var (
+	vectorCacheHit  = obs.NewCounter("index.vector.cache.hit")
+	vectorCacheMiss = obs.NewCounter("index.vector.cache.miss")
+	vectorSearchObs = opObs{obs.NewCounter("index.vector.search.count"), obs.NewHistogram("index.vector.search.ns")}
 )
 
 // Scored pairs a document ID with a similarity or retrieval score.
@@ -284,6 +295,7 @@ func (v *VectorStore) Vector(docID string) map[string]float64 {
 	}
 	if vec := v.cache[dn]; vec != nil && v.validLocked(dn) {
 		v.mu.RUnlock()
+		vectorCacheHit.Inc()
 		return vec
 	}
 	v.mu.RUnlock()
@@ -292,8 +304,10 @@ func (v *VectorStore) Vector(docID string) map[string]float64 {
 	defer v.mu.Unlock()
 	if vec := v.cache[dn]; vec != nil && v.validLocked(dn) {
 		v.cacheGen[dn] = v.gen // refresh so the next check is O(1)
+		vectorCacheHit.Inc()
 		return vec
 	}
+	vectorCacheMiss.Inc()
 	vec := v.buildVectorLocked(dn)
 	v.cache[dn] = vec
 	v.cacheGen[dn] = v.gen
@@ -400,6 +414,7 @@ func (v *VectorStore) SimilarTo(query map[string]float64, k int, exclude func(st
 	if k <= 0 || len(query) == 0 {
 		return nil
 	}
+	defer vectorSearchObs.observe(time.Now())
 	// Accumulate via postings so only candidate documents sharing at least
 	// one query term are touched.
 	v.mu.Lock()

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a navigation step. Spans form a tree rooted
+// by StartTrace; StartSpan attaches children through the context. Tracing
+// is strictly opt-in: on a context without a trace, StartSpan returns a
+// nil span whose methods all no-op, so instrumented code pays only a
+// context lookup when tracing is off.
+//
+// A span is written by the goroutine that started it; child registration
+// is mutex-guarded so parallel stages may attach concurrently.
+type Span struct {
+	name  string
+	start time.Time
+	dur   time.Duration
+
+	mu sync.Mutex
+	// attrs and children are appended during the span's lifetime;
+	// guarded by mu.
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span (result cardinality,
+// suggestion counts, analyst names).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+type spanKey struct{}
+
+// StartTrace returns a context carrying a new root span. Everything
+// started from the returned context via StartSpan becomes part of the
+// tree. Call End on the root before rendering it.
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// StartSpan starts a child span if ctx carries a trace, returning the
+// child context and span; otherwise it returns ctx unchanged and a nil
+// span (all Span methods are nil-safe).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, sp)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// FromContext returns the current span (nil when tracing is off).
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Enabled reports whether ctx carries a trace.
+func Enabled(ctx context.Context) bool { return FromContext(ctx) != nil }
+
+// End fixes the span's duration. Safe on nil and idempotent enough for
+// deferred use (a second End overwrites with a longer duration).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.dur = time.Since(s.start)
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's duration (zero before End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// SetAttr annotates the span; no-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, value})
+	s.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value; no-op on nil.
+func (s *Span) SetInt(key string, v int) {
+	s.SetAttr(key, strconv.Itoa(v))
+}
+
+// Attrs returns a copy of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Children returns a copy of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Count returns the number of spans in the tree rooted at s (0 for nil).
+func (s *Span) Count() int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children() {
+		n += c.Count()
+	}
+	return n
+}
+
+// WriteTree renders the span tree as an indented duration table:
+//
+//	navigation-step                   12.4ms
+//	  session.query                    3.1ms  items=120
+//	    query.eval                     3.0ms  results=120
+//	      pred.and                     2.9ms  results=120
+//
+// Durations are right-padded per line; attrs trail as key=value pairs.
+func (s *Span) WriteTree(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.writeTree(w, 0)
+}
+
+func (s *Span) writeTree(w io.Writer, depth int) {
+	label := fmt.Sprintf("%*s%s", depth*2, "", s.name)
+	line := fmt.Sprintf("%-40s %12s", label, s.dur.Round(time.Microsecond))
+	for _, a := range s.Attrs() {
+		line += "  " + a.Key + "=" + a.Value
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range s.Children() {
+		c.writeTree(w, depth+1)
+	}
+}

@@ -12,6 +12,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -471,15 +472,23 @@ type And struct {
 
 // Eval implements Predicate.
 func (a And) Eval(e *Engine) Set {
-	if len(a.Ps) == 0 {
+	return evalAnd(e, a.Ps, func(p Predicate) Set { return p.Eval(e) })
+}
+
+// evalAnd is the conjunction loop shared by And.Eval and the
+// instrumented Engine.EvalContext path: empty conjunctions yield the
+// universe, and evaluation short-circuits on the first empty
+// intersection. eval maps one term to its result set.
+func evalAnd(e *Engine, ps []Predicate, eval func(Predicate) Set) Set {
+	if len(ps) == 0 {
 		return e.Universe()
 	}
-	out := a.Ps[0].Eval(e)
-	for _, p := range a.Ps[1:] {
+	out := eval(ps[0])
+	for _, p := range ps[1:] {
 		if out.IsEmpty() {
 			return out
 		}
-		out = out.Intersect(p.Eval(e))
+		out = out.Intersect(eval(p))
 	}
 	return out
 }
@@ -498,9 +507,15 @@ type Or struct {
 
 // Eval implements Predicate.
 func (o Or) Eval(e *Engine) Set {
+	return evalOr(o.Ps, func(p Predicate) Set { return p.Eval(e) })
+}
+
+// evalOr is the disjunction loop shared by Or.Eval and the instrumented
+// Engine.EvalContext path.
+func evalOr(ps []Predicate, eval func(Predicate) Set) Set {
 	var out Set
-	for _, p := range o.Ps {
-		out = out.Union(p.Eval(e))
+	for _, p := range ps {
+		out = out.Union(eval(p))
 	}
 	return out
 }
@@ -604,7 +619,8 @@ func (q Query) Describe(l Labeler) []string {
 // conjunctions).
 func (q Query) Key() string { return joinKeys("query", q.Terms) }
 
-// Evaluate runs q and returns the result as a sorted item slice.
+// Evaluate runs q through the instrumented path and returns the result
+// as a sorted item slice.
 func (e *Engine) Evaluate(q Query) []rdf.IRI {
-	return q.Eval(e).Items()
+	return e.EvalContext(context.Background(), q).Items()
 }

@@ -1,0 +1,67 @@
+package web
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"html/template"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRenderErrorReturns500 pins the failure mode of a template render:
+// a 500 carrying the request ID (not a silently truncated page), the error
+// logged under the same ID, and the web.render.errors counter bumped.
+func TestRenderErrorReturns500(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := &Server{log: slog.New(slog.NewTextHandler(&logBuf, nil))}
+
+	tpl := template.Must(template.New("boom").Parse(`ok {{call .F}}`))
+	data := struct{ F func() (string, error) }{
+		F: func() (string, error) { return "", errors.New("kaboom") },
+	}
+	req := httptest.NewRequest("GET", "/", nil)
+	req = req.WithContext(context.WithValue(req.Context(), requestIDKey{}, "req-42"))
+	rec := httptest.NewRecorder()
+
+	before := renderErrors.Value()
+	s.render(rec, req, tpl, data)
+
+	if rec.Code != 500 {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "req-42") {
+		t.Errorf("error page does not carry the request ID: %q", body)
+	}
+	if body := rec.Body.String(); strings.Contains(body, "ok ") {
+		t.Errorf("partial template output leaked to the client: %q", body)
+	}
+	if got := renderErrors.Value(); got != before+1 {
+		t.Errorf("web.render.errors = %d, want %d", got, before+1)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "req-42") || !strings.Contains(logged, "kaboom") {
+		t.Errorf("log entry missing request ID or error: %q", logged)
+	}
+}
+
+// TestRenderSuccess pins the happy path: buffered output is flushed with
+// the HTML content type and a 200.
+func TestRenderSuccess(t *testing.T) {
+	s := &Server{log: slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))}
+	tpl := template.Must(template.New("page").Parse(`hello {{.}}`))
+	req := httptest.NewRequest("GET", "/", nil)
+	rec := httptest.NewRecorder()
+	s.render(rec, req, tpl, "magnet")
+	if rec.Code != 200 {
+		t.Errorf("status = %d, want 200", rec.Code)
+	}
+	if got := rec.Body.String(); got != "hello magnet" {
+		t.Errorf("body = %q", got)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}

@@ -8,10 +8,12 @@
 package web
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
 	"html/template"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -20,6 +22,7 @@ import (
 
 	"magnet/internal/blackboard"
 	"magnet/internal/core"
+	"magnet/internal/obs"
 	"magnet/internal/qlang"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
@@ -27,20 +30,35 @@ import (
 
 // Server serves one Magnet instance to many browser sessions.
 type Server struct {
-	m   *core.Magnet
-	mux *http.ServeMux
+	m       *core.Magnet
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+	log     *slog.Logger
 
 	mu sync.Mutex
 	// guarded by mu
 	sessions map[string]*core.Session
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger sets the structured logger for access and error logs
+// (slog.Default() when unset).
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
 // NewServer returns a server over m.
-func NewServer(m *core.Magnet) *Server {
+func NewServer(m *core.Magnet, opts ...Option) *Server {
 	s := &Server{
 		m:        m,
 		mux:      http.NewServeMux(),
+		log:      slog.Default(),
 		sessions: make(map[string]*core.Session),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux.HandleFunc("/", s.handleCollection)
 	s.mux.HandleFunc("/search", s.handleSearch)
@@ -54,12 +72,13 @@ func NewServer(m *core.Magnet) *Server {
 	s.mux.HandleFunc("/overview", s.handleOverview)
 	s.mux.HandleFunc("/range", s.handleRange)
 	s.mux.HandleFunc("/refine", s.handleRefine)
+	s.handler = s.observe(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 const sessionCookie = "magnet_session"
@@ -87,17 +106,30 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*core.Session,
 	return sess, nil
 }
 
-// withSession runs fn under the server lock and redirects to the
-// collection page afterwards.
+// lockSession acquires the server mutex and installs the request context on
+// the session, so the navigation step's spans attach to the request's trace
+// root. The returned unlock resets the session context before releasing —
+// session state must not outlive the request that set it.
+func (s *Server) lockSession(r *http.Request, sess *core.Session) (unlock func()) {
+	s.mu.Lock()
+	sess.SetContext(r.Context())
+	return func() {
+		sess.SetContext(nil)
+		s.mu.Unlock()
+	}
+}
+
+// navigate runs fn under the server lock and redirects to the collection
+// page afterwards.
 func (s *Server) navigate(w http.ResponseWriter, r *http.Request, fn func(*core.Session)) {
 	sess, err := s.session(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.mu.Lock()
+	unlock := s.lockSession(r, sess)
 	fn(sess)
-	s.mu.Unlock()
+	unlock()
 	http.Redirect(w, r, "/", http.StatusSeeOther)
 }
 
@@ -135,11 +167,11 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.mu.Lock()
+	unlock := s.lockSession(r, sess)
 	sess.OpenItem(item)
 	data := s.itemData(sess, item)
-	s.mu.Unlock()
-	renderTemplate(w, itemTemplate, data)
+	unlock()
+	s.render(w, r, itemTemplate, data)
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -178,7 +210,7 @@ func (s *Server) handleGo(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.mu.Lock()
+	unlock := s.lockSession(r, sess)
 	var found *blackboard.Suggestion
 	for _, sg := range sess.Board().Suggestions() {
 		if sg.Key == key {
@@ -187,7 +219,7 @@ func (s *Server) handleGo(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if found == nil {
-		s.mu.Unlock()
+		unlock()
 		http.Error(w, "suggestion expired; go back and retry", http.StatusGone)
 		return
 	}
@@ -203,22 +235,22 @@ func (s *Server) handleGo(w http.ResponseWriter, r *http.Request) {
 	}
 	if rng, ok := action.(blackboard.ShowRange); ok {
 		data := s.rangeData(found.Title, rng)
-		s.mu.Unlock()
-		renderTemplate(w, rangeTemplate, data)
+		unlock()
+		s.render(w, r, rangeTemplate, data)
 		return
 	}
 	if _, ok := action.(blackboard.ShowSearch); ok {
-		s.mu.Unlock()
+		unlock()
 		http.Redirect(w, r, "/#search", http.StatusSeeOther)
 		return
 	}
 	if _, ok := action.(blackboard.ShowOverview); ok {
-		s.mu.Unlock()
+		unlock()
 		http.Redirect(w, r, "/overview", http.StatusSeeOther)
 		return
 	}
 	err = sess.Apply(action)
-	s.mu.Unlock()
+	unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -277,10 +309,10 @@ func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.mu.Lock()
+	unlock := s.lockSession(r, sess)
 	data := s.overviewData(sess)
-	s.mu.Unlock()
-	renderTemplate(w, overviewTemplate, data)
+	unlock()
+	s.render(w, r, overviewTemplate, data)
 }
 
 func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
@@ -293,10 +325,10 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.mu.Lock()
+	unlock := s.lockSession(r, sess)
 	data := s.collectionData(sess)
-	s.mu.Unlock()
-	renderTemplate(w, collectionTemplate, data)
+	unlock()
+	s.render(w, r, collectionTemplate, data)
 }
 
 // ------------------------------------------------------------ view data --
@@ -482,11 +514,32 @@ func (s *Server) rangeData(title string, act blackboard.ShowRange) rangeView {
 	}
 }
 
-func renderTemplate(w http.ResponseWriter, t *template.Template, data any) {
+// renderErrors counts template render failures — the observable face of the
+// 500s below.
+var renderErrors = obs.NewCounter("web.render.errors")
+
+// render executes the template into a buffer so a failure can still become a
+// proper 500 (headers not yet written) carrying the request ID the error was
+// logged under, instead of a silently truncated page.
+func (s *Server) render(w http.ResponseWriter, r *http.Request, t *template.Template, data any) {
+	var buf bytes.Buffer
+	if err := t.Execute(&buf, data); err != nil {
+		renderErrors.Inc()
+		id := RequestID(r.Context())
+		s.log.LogAttrs(r.Context(), slog.LevelError, "template render failed",
+			slog.String("id", id),
+			slog.String("template", t.Name()),
+			slog.String("err", err.Error()),
+		)
+		http.Error(w, "internal error (request "+id+")", http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := t.Execute(w, data); err != nil {
-		// Headers already sent; log-equivalent via trailer comment.
-		fmt.Fprintf(w, "<!-- template error: %v -->", err)
+	if _, err := buf.WriteTo(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "response write failed",
+			slog.String("id", RequestID(r.Context())),
+			slog.String("err", err.Error()),
+		)
 	}
 }
 
