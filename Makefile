@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet magnet-vet fuzz bench-json check
+.PHONY: build test race vet magnet-vet fuzz race-par bench-json bench-parallel check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadNTriples -fuzztime=$(FUZZTIME) ./internal/rdf/
 	$(GO) test -run='^$$' -fuzz=FuzzItemSetOps -fuzztime=$(FUZZTIME) ./internal/itemset/
 
+# Focused race pass over the parallel pipeline: the internal/par pool
+# stress tests and every serial-vs-parallel equivalence/determinism test.
+race-par:
+	$(GO) test -race -run 'Pool|Submit|Batch|Panic|Cancel|Nested|Parallel|Equiv|Determinism|Merge|ByAdvisor|Centroid' \
+		./internal/par/ ./internal/blackboard/ ./internal/facets/ ./internal/index/ ./internal/vsm/
+
 # Machine-readable benchmark snapshot: every benchmark with -benchmem,
 # converted to BENCH_<date>.json (see cmd/benchjson) for cross-PR diffing.
 BENCHDATE := $(shell date +%Y-%m-%d)
@@ -40,4 +46,11 @@ bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$(BENCHDATE).json
 	@echo wrote BENCH_$(BENCHDATE).json
 
-check: build vet magnet-vet test race fuzz bench-json
+# Per-worker-count results for the parallel fan-out seams (facet overview,
+# similarity scan, batch indexing, analyst pane) at 1, 4 and GOMAXPROCS
+# workers, in the same BENCH json format.
+bench-parallel:
+	$(GO) test -run='^$$' -bench='^BenchmarkParallel' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_$(BENCHDATE).json
+	@echo wrote BENCH_$(BENCHDATE).json
+
+check: build vet magnet-vet test race race-par fuzz bench-json

@@ -58,11 +58,22 @@ func apply(s *core.Session, a blackboard.Action) {
 	}
 }
 
+// parallelism is the -parallelism flag value, applied to every Magnet the
+// experiments open.
+var parallelism int
+
+// open builds a Magnet with the run's parallelism setting applied.
+func open(g *rdf.Graph, opts core.Options) *core.Magnet {
+	opts.Parallelism = parallelism
+	return core.Open(g, opts)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1, fig2, fig5, fig6, fig7, fig8, factbook, courses, or all")
 	nRecipes := flag.Int("recipes", 6444, "recipe corpus size")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	trace := flag.Bool("trace", false, "trace one navigation step (-exp P5 or fig2) and print its span tree")
+	flag.IntVar(&parallelism, "parallelism", 0, "worker pool size for the navigation pipeline (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *trace {
@@ -127,7 +138,7 @@ func traceExp(exp string, n int, seed int64) {
 		os.Exit(2)
 	}
 	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
-	m := core.Open(g, core.Options{})
+	m := open(g, core.Options{})
 	s := m.NewSession()
 
 	ctx, root := obs.StartTrace(context.Background(), "navigation-step")
@@ -159,7 +170,7 @@ func traceExp(exp string, n int, seed int64) {
 func fig1(n int, seed int64) {
 	header("E1 / Figure 1 — navigation pane on Greek + parsley recipes")
 	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
-	m := core.Open(g, core.Options{})
+	m := open(g, core.Options{})
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(
 		query.TypeIs(recipes.ClassRecipe),
@@ -185,7 +196,7 @@ func fig1(n int, seed int64) {
 func fig2(n int, seed int64) {
 	header("E2 / Figure 2 — facet overview of the full recipe collection")
 	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
-	m := core.Open(g, core.Options{})
+	m := open(g, core.Options{})
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(recipes.ClassRecipe))})
 	fs := s.Overview(6)
@@ -207,7 +218,7 @@ func fig2(n int, seed int64) {
 func fig5(int, int64) {
 	header("E4 / Figure 5 — sent-date range widget on the inbox")
 	g := inbox.Build(inbox.Config{})
-	m := core.Open(g, core.Options{})
+	m := open(g, core.Options{})
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
 		query.TypeIs(inbox.ClassMessage), query.TypeIs(inbox.ClassNewsItem),
@@ -230,7 +241,7 @@ func fig5(int, int64) {
 func fig6(int, int64) {
 	header("E5 / Figure 6 — inbox navigation with body composition")
 	g := inbox.Build(inbox.Config{})
-	m := core.Open(g, core.Options{})
+	m := open(g, core.Options{})
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
 		query.TypeIs(inbox.ClassMessage), query.TypeIs(inbox.ClassNewsItem),
@@ -269,7 +280,7 @@ func fig6(int, int64) {
 func fig7(int, int64) {
 	header("E6 / Figure 7 — 50 states as given (no annotations)")
 	g := statesGraph()
-	m := core.Open(g, core.Options{IndexAllSubjects: true})
+	m := open(g, core.Options{IndexAllSubjects: true})
 	s := m.NewSession()
 	fs := s.Overview(4)
 	render.Overview(os.Stdout, fs, len(s.Items()))
@@ -302,7 +313,7 @@ func fig8(int, int64) {
 	header("E7 / Figure 8 — 50 states with label and value-type annotations")
 	g := statesGraph()
 	states.Annotate(g)
-	m := core.Open(g, core.Options{IndexAllSubjects: true})
+	m := open(g, core.Options{IndexAllSubjects: true})
 	s := m.NewSession()
 	fs := s.Overview(4)
 	render.Overview(os.Stdout, fs, len(s.Items()))
@@ -330,7 +341,7 @@ func factbookExp(int, int64) {
 	header("E8 — CIA factbook: shared currency / independence day")
 	g := factbook.Build(factbook.Config{})
 	factbook.Annotate(g)
-	m := core.Open(g, core.Options{})
+	m := open(g, core.Options{})
 	s := m.NewSession()
 	s.OpenItem(factbook.Country(0))
 	render.Item(os.Stdout, g, factbook.Country(0))
@@ -364,7 +375,7 @@ func coursesExp(int, int64) {
 	header("E8b — course catalog: opaque attribute until hidden")
 	countCatKey := func(hide bool) int {
 		g := courses.Build(courses.Config{HideCatalogKey: hide})
-		m := core.Open(g, core.Options{})
+		m := open(g, core.Options{})
 		s := m.NewSession()
 		apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(courses.ClassCourse))})
 		n := 0
@@ -421,7 +432,7 @@ func autoAnnotateExp(int, int64) {
 	}
 	annotate.Apply(g, proposals)
 
-	m := core.Open(g, core.Options{IndexAllSubjects: true})
+	m := open(g, core.Options{IndexAllSubjects: true})
 	s := m.NewSession()
 	var areaRange bool
 	for _, sg := range s.Board().Suggestions() {

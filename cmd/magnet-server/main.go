@@ -48,6 +48,7 @@ func main() {
 	useBaseline := flag.Bool("baseline", false, "use the Flamenco-like baseline advisor set")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	parallelism := flag.Int("parallelism", 0, "worker pool size for the navigation pipeline (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var level slog.Level
@@ -63,7 +64,7 @@ func main() {
 		logger.Error("load failed", "err", err)
 		os.Exit(1)
 	}
-	opts := core.Options{IndexAllSubjects: allSubjects, SoftEmptyResults: true}
+	opts := core.Options{IndexAllSubjects: allSubjects, SoftEmptyResults: true, Parallelism: *parallelism}
 	if *useBaseline {
 		opts.Analysts = analysts.BaselineSet
 	}

@@ -179,6 +179,7 @@ func All() []*Analyzer {
 		CtxFirst("internal/web"),
 		DenseKeys("internal/query", "internal/facets", "internal/vsm", "internal/index"),
 		ObsHygiene("internal/"),
+		GoHygiene("internal/"),
 	}
 }
 
@@ -186,5 +187,5 @@ func All() []*Analyzer {
 // mode magnet-vet uses on an explicit directory (e.g. a fixture package),
 // where all invariants should apply regardless of location.
 func Unscoped() []*Analyzer {
-	return []*Analyzer{LockedField(), FloatEq(), ErrWrap(), MapIter(), CtxFirst(), DenseKeys(), ObsHygiene()}
+	return []*Analyzer{LockedField(), FloatEq(), ErrWrap(), MapIter(), CtxFirst(), DenseKeys(), ObsHygiene(), GoHygiene()}
 }

@@ -88,6 +88,24 @@ func TestMapIter(t *testing.T)     { runFixture(t, MapIter(), "mapiter") }
 func TestCtxFirst(t *testing.T)    { runFixture(t, CtxFirst(), "ctxfirst") }
 func TestDenseKeys(t *testing.T)   { runFixture(t, DenseKeys(), "densekeys") }
 func TestObsHygiene(t *testing.T)  { runFixture(t, ObsHygiene(), "obshygiene") }
+func TestGoHygiene(t *testing.T)   { runFixture(t, GoHygiene(), "gohygiene") }
+
+// TestGoHygieneExemptsPar checks the one sanctioned goroutine spawner: the
+// same fixture loaded under an internal/par import path reports nothing.
+func TestGoHygieneExemptsPar(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "gohygiene")
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir, "magnet/internal/par")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{GoHygiene()}); len(diags) != 0 {
+		t.Errorf("gohygiene flagged internal/par: %v", diags)
+	}
+}
 
 // TestScopeRestrictsFiles checks that a scoped analyzer skips packages
 // outside its path scope entirely.

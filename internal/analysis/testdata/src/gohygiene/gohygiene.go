@@ -1,0 +1,38 @@
+// Package gohygiene is a magnet-vet fixture: each violation line carries
+// an expectation comment, allowed patterns carry none.
+package gohygiene
+
+import "sync"
+
+func bad() {
+	go leak() // want "bare go statement"
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "bare go statement"
+		defer wg.Done()
+		leak()
+	}()
+	wg.Wait()
+
+	for i := 0; i < 4; i++ {
+		go worker(i) // want "bare go statement"
+	}
+}
+
+func good() {
+	// Calling, deferring, or passing a function is fine — only the go
+	// keyword is banned.
+	leak()
+	defer leak()
+	launch(leak)
+
+	// A channel send named 'go'-ish is not a go statement.
+	ch := make(chan func(), 1)
+	ch <- leak
+	(<-ch)()
+}
+
+func leak()            {}
+func worker(int)       {}
+func launch(fn func()) { fn() }

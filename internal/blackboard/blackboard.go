@@ -12,6 +12,7 @@ package blackboard
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"strings"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"magnet/internal/facets"
 	"magnet/internal/obs"
+	"magnet/internal/par"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
 )
@@ -200,6 +202,9 @@ type Board struct {
 	suggestions []Suggestion
 	// seen dedupes suggestion keys (first poster wins); guarded by mu.
 	seen map[string]bool
+	// byAdvisor memoizes the ByAdvisor grouping; nil until computed,
+	// invalidated by any accepted post; guarded by mu.
+	byAdvisor map[string][]Suggestion
 }
 
 // NewBoard returns an empty board.
@@ -219,6 +224,33 @@ func (b *Board) Post(s Suggestion) {
 		b.seen[s.Key] = true
 	}
 	b.suggestions = append(b.suggestions, s)
+	b.byAdvisor = nil
+}
+
+// Merge posts src's suggestions onto b in src's posting order, applying
+// b's dedup (first-merged poster wins), and reports how many were
+// accepted. Merging per-analyst private boards in registration order
+// reproduces a serial run's board exactly, whatever schedule produced the
+// private boards.
+func (b *Board) Merge(src *Board) int {
+	ss := src.Suggestions()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	accepted := 0
+	for _, s := range ss {
+		if s.Key != "" {
+			if b.seen[s.Key] {
+				continue
+			}
+			b.seen[s.Key] = true
+		}
+		b.suggestions = append(b.suggestions, s)
+		accepted++
+	}
+	if accepted > 0 {
+		b.byAdvisor = nil
+	}
+	return accepted
 }
 
 // Suggestions returns a copy of everything posted, in posting order.
@@ -237,11 +269,24 @@ func (b *Board) Len() int {
 	return len(b.suggestions)
 }
 
-// ByAdvisor returns posted suggestions grouped by advisor name.
+// ByAdvisor returns posted suggestions grouped by advisor name, in
+// posting order within each group. The grouping is memoized until the
+// next accepted post; the returned map is the caller's, but the slices
+// share the cache's backing storage (capacity-clipped, so appending is
+// safe) — treat the elements as read-only.
 func (b *Board) ByAdvisor() map[string][]Suggestion {
-	out := make(map[string][]Suggestion)
-	for _, s := range b.Suggestions() {
-		out[s.Advisor] = append(out[s.Advisor], s)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.byAdvisor == nil {
+		m := make(map[string][]Suggestion)
+		for _, s := range b.suggestions {
+			m[s.Advisor] = append(m[s.Advisor], s)
+		}
+		b.byAdvisor = m
+	}
+	out := make(map[string][]Suggestion, len(b.byAdvisor))
+	for adv, ss := range b.byAdvisor {
+		out[adv] = ss[:len(ss):len(ss)]
 	}
 	return out
 }
@@ -323,6 +368,9 @@ type Registry struct {
 	// instruments holds per-analyst metric handles, parallel to analysts;
 	// guarded by mu.
 	instruments []analystInstrument
+	// pool bounds analyst fan-out; nil runs every wave serially. Guarded
+	// by mu.
+	pool *par.Pool
 }
 
 // NewRegistry returns a registry with the given analysts.
@@ -341,6 +389,16 @@ func (r *Registry) Register(analysts ...Analyst) {
 	for _, a := range analysts {
 		r.instruments = append(r.instruments, newAnalystInstrument(a.Name()))
 	}
+}
+
+// SetPool sets the worker pool analyst waves fan out on. A nil pool (the
+// default) runs every wave serially; either way the board output is
+// identical — parallel waves post to private boards merged in
+// registration order.
+func (r *Registry) SetPool(p *par.Pool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pool = p
 }
 
 // Names returns the registered analyst names, in registration order.
@@ -365,12 +423,19 @@ func (r *Registry) Run(v View) *Board {
 // trace) with its accepted-suggestion count recorded, and the primary and
 // reactor rounds are counted separately (the §4.3 "triggered by results
 // from other analysts" round).
+//
+// When the registry has a pool, the primary round and the reactor round
+// each run as one parallel wave: every analyst posts to a private board
+// and the private boards are merged in registration order, so the merged
+// board — suggestion order, dedup outcomes, per-analyst accepted counts —
+// is byte-identical to a serial run.
 func (r *Registry) RunContext(ctx context.Context, v View) *Board {
 	r.mu.RLock()
 	analysts := make([]Analyst, len(r.analysts))
 	copy(analysts, r.analysts)
 	instruments := make([]analystInstrument, len(r.instruments))
 	copy(instruments, r.instruments)
+	pool := r.pool
 	r.mu.RUnlock()
 
 	ctx, sp := obs.StartSpan(ctx, "blackboard.run")
@@ -378,29 +443,22 @@ func (r *Registry) RunContext(ctx context.Context, v View) *Board {
 	b := NewBoard()
 	var triggered []int
 	for i, a := range analysts {
-		if !a.Triggered(v) {
-			continue
+		if a.Triggered(v) {
+			triggered = append(triggered, i)
 		}
-		triggered = append(triggered, i)
-		runAnalyst(ctx, "analyst.", a.Name(), instruments[i], b, func() {
-			a.Suggest(v, b)
-		})
 	}
+	runWave(ctx, pool, "analyst.", v, nil, analysts, instruments, triggered, b)
 	primaryRounds.Inc()
 	if len(triggered) > 0 {
-		posted := b.Suggestions()
-		reacted := false
+		var reactors []int
 		for _, i := range triggered {
-			re, ok := analysts[i].(Reactor)
-			if !ok {
-				continue
+			if _, ok := analysts[i].(Reactor); ok {
+				reactors = append(reactors, i)
 			}
-			reacted = true
-			runAnalyst(ctx, "react.", re.Name(), instruments[i], b, func() {
-				re.React(v, posted, b)
-			})
 		}
-		if reacted {
+		if len(reactors) > 0 {
+			posted := b.Suggestions()
+			runWave(ctx, pool, "react.", v, posted, analysts, instruments, reactors, b)
 			reactorRounds.Inc()
 		}
 	}
@@ -415,21 +473,52 @@ func (r *Registry) RunContext(ctx context.Context, v View) *Board {
 	return b
 }
 
-// runAnalyst times one analyst invocation, recording its duration, run
-// count and the number of suggestions the board accepted from it.
-func runAnalyst(ctx context.Context, spanPrefix, name string, in analystInstrument, b *Board, fn func()) {
-	_, sp := obs.StartSpan(ctx, spanPrefix+name)
-	before := b.Len()
-	start := time.Now()
-	fn()
-	in.runs.Inc()
-	in.ns.ObserveSince(start)
-	accepted := b.Len() - before
-	if accepted > 0 {
-		in.suggestions.Add(uint64(accepted))
+// runWave runs one round of analysts — concurrently when the pool allows —
+// each posting to a private board, then merges the private boards into dst
+// in registration order. A non-nil posted slice selects the reactor round
+// (every idx entry must then be a Reactor) and carries the pre-round
+// snapshot. Per-analyst accepted counts (metric and span attr) are
+// recorded at merge time, so dedup races cannot skew them. An analyst
+// panic propagates as *par.PanicError, preserving the serial contract
+// that a broken analyst fails the whole run; on context cancellation the
+// wave merges what completed and returns.
+func runWave(ctx context.Context, pool *par.Pool, spanPrefix string, v View, posted []Suggestion, analysts []Analyst, instruments []analystInstrument, idx []int, dst *Board) {
+	if len(idx) == 0 {
+		return
 	}
-	sp.SetInt("suggestions", accepted)
-	sp.End()
+	boards := make([]*Board, len(idx))
+	spans := make([]*obs.Span, len(idx))
+	err := par.ForN(ctx, pool, len(idx), func(k int) {
+		i := idx[k]
+		a := analysts[i]
+		_, asp := obs.StartSpan(ctx, spanPrefix+a.Name())
+		priv := NewBoard()
+		start := time.Now()
+		if posted == nil {
+			a.Suggest(v, priv)
+		} else {
+			a.(Reactor).React(v, posted, priv)
+		}
+		instruments[i].runs.Inc()
+		instruments[i].ns.ObserveSince(start)
+		asp.End()
+		boards[k] = priv
+		spans[k] = asp
+	})
+	for k, priv := range boards {
+		if priv == nil {
+			continue
+		}
+		accepted := dst.Merge(priv)
+		if accepted > 0 {
+			instruments[idx[k]].suggestions.Add(uint64(accepted))
+		}
+		spans[k].SetInt("suggestions", accepted)
+	}
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
 }
 
 // SelectTop returns up to n suggestions with the highest weights from the

@@ -13,6 +13,7 @@ import (
 	"magnet/internal/blackboard"
 	"magnet/internal/index"
 	"magnet/internal/itemset"
+	"magnet/internal/par"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
@@ -39,6 +40,12 @@ type Options struct {
 	// "modify the queries to perform more fuzzily in the case when zero
 	// results would have been returned otherwise").
 	SoftEmptyResults bool
+	// Parallelism sizes the instance's shared worker pool: analyst waves,
+	// facet sharding, similarity scans and batch indexing all fan out on
+	// this one pool, so concurrent sessions (magnet-server) compose with
+	// per-request parallelism instead of oversubscribing. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the whole pipeline serially.
+	Parallelism int
 }
 
 // Magnet is an instance of the navigation system over one repository.
@@ -53,6 +60,9 @@ type Magnet struct {
 	// itemIDs mirrors items on the dense-ID plane; the query engine's
 	// universe (Not, empty queries) reads it without rehydration.
 	itemIDs itemset.Set
+	// pool is the instance's one concurrency budget (Options.Parallelism),
+	// shared by every session.
+	pool *par.Pool
 }
 
 // Open builds a Magnet over the graph: it chooses the item universe,
@@ -64,6 +74,7 @@ func Open(g *rdf.Graph, opts Options) *Magnet {
 		g:    g,
 		sch:  schema.NewStore(g),
 		opts: opts,
+		pool: par.New(opts.Parallelism),
 	}
 	m.Reindex()
 	m.eng = query.NewEngine(g, m.sch, m.text, func() []rdf.IRI { return m.items })
@@ -95,6 +106,7 @@ func (m *Magnet) Reindex() {
 		}
 	}
 	m.model = vsm.New(m.g, m.sch, m.opts.VSM)
+	m.model.SetPool(m.pool)
 	m.model.IndexAll(m.items)
 	if m.eng != nil {
 		// The engine closes over m.items; only the text index pointer needs
@@ -171,6 +183,13 @@ func (m *Magnet) chooseItems() []rdf.IRI {
 	m.itemIDs = m.g.AllSubjectIDs()
 	return m.g.AllSubjects()
 }
+
+// Pool returns the instance's shared worker pool.
+func (m *Magnet) Pool() *par.Pool { return m.pool }
+
+// Close releases the instance's worker pool. Sessions keep working after
+// Close — every parallel seam degrades to its serial path.
+func (m *Magnet) Close() { m.pool.Close() }
 
 // Graph returns the underlying graph.
 func (m *Magnet) Graph() *rdf.Graph { return m.g }

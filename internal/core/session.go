@@ -71,6 +71,7 @@ func (m *Magnet) NewSession() *Session {
 		build = analysts.DefaultSet
 	}
 	s.registry = blackboard.NewRegistry(build(env)...)
+	s.registry.SetPool(m.pool)
 	s.goToQuery(query.NewQuery())
 	return s
 }
@@ -299,6 +300,7 @@ func (s *Session) Overview(maxValues int) []facets.Facet {
 	fs := facets.SummarizeContext(ctx, s.m.g, s.m.sch, items, facets.Options{
 		MaxValues: maxValues,
 		ByCount:   true,
+		Pool:      s.m.pool,
 	})
 	stepOverviewCount.Inc()
 	stepOverviewNS.ObserveSince(start)

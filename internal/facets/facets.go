@@ -7,12 +7,14 @@ package facets
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sort"
 	"time"
 
 	"magnet/internal/itemset"
 	"magnet/internal/obs"
+	"magnet/internal/par"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
 )
@@ -80,6 +82,11 @@ type Options struct {
 	// IncludeUnshared keeps facets where every value is distinct (normally
 	// useless for refinement and skipped).
 	IncludeUnshared bool
+	// Pool shards per-property aggregation across workers; nil aggregates
+	// serially. Output is identical either way: properties are
+	// index-addressed into per-predicate slots, so the facet table never
+	// depends on schedule.
+	Pool *par.Pool
 }
 
 // Summarize computes facets for every navigation property occurring in the
@@ -90,6 +97,10 @@ type Options struct {
 // sorted itemset, and each property's per-value histogram is a sequence of
 // posting-list intersections — no per-item hashing, no per-value maps.
 func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) []Facet {
+	return summarize(context.Background(), g, sch, items, opts)
+}
+
+func summarize(ctx context.Context, g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) []Facet {
 	start := time.Now()
 	collIDs := make([]uint32, 0, len(items))
 	for _, it := range items {
@@ -100,76 +111,40 @@ func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) [
 	}
 	coll := itemset.FromUnsorted(collIDs)
 
-	// Epoch-stamped coverage counter: one pass per predicate, no clearing.
 	// Every intersection result is a subset of coll, so coll's max ID bounds
-	// the stamp array.
+	// each worker's epoch-stamp array.
 	var maxID uint32
 	if n := coll.Len(); n > 0 {
 		maxID, _ = coll.Select(n - 1)
 	}
-	seen := make([]uint32, int(maxID)+1)
-	var epoch uint32
-	var buf []uint32 // intersection scratch, reused across values
 
-	var facets []Facet
-	for _, p := range g.Predicates() {
-		if sch.Hidden(p) {
-			continue
+	// Shard per-predicate aggregation across the pool. Predicates() is
+	// sorted, results are index-addressed per predicate, and each chunk
+	// carries its own scratch (stamp array + intersection buffer), so the
+	// collected table is identical to a serial pass. With a nil/serial
+	// pool ChunkFor yields one chunk: one scratch allocation, exactly the
+	// old loop.
+	preds := g.Predicates()
+	results := make([]*Facet, len(preds))
+	err := par.ForChunks(ctx, opts.Pool, len(preds), par.ChunkFor(opts.Pool, len(preds)), func(lo, hi int) {
+		seen := make([]uint32, int(maxID)+1)
+		var epoch uint32
+		var buf []uint32 // intersection scratch, reused across values
+		for i := lo; i < hi; i++ {
+			epoch++
+			results[i] = summarizeProp(g, sch, preds[i], coll, seen, epoch, &buf, opts)
 		}
-		epoch++
-		coverage, distinct := 0, 0
-		shared := false
-		var values []Value
-		g.ForEachValuePosting(p, func(o rdf.Term, subjects itemset.Set) bool {
-			inter := itemset.IntersectInto(buf, subjects, coll)
-			buf = inter.Slice()[:0]
-			n := inter.Len()
-			if n == 0 {
-				return true
-			}
-			distinct++
-			if n >= 2 {
-				shared = true
-			}
-			inter.ForEach(func(id uint32) bool {
-				if seen[id] != epoch {
-					seen[id] = epoch
-					coverage++
-				}
-				return true
-			})
-			if opts.MinCount > 1 && n < opts.MinCount {
-				return true
-			}
-			values = append(values, Value{Term: o, Label: g.TermLabel(o), Count: n})
-			return true
-		})
-		if coverage == 0 {
-			continue
+	})
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+
+	facets := make([]Facet, 0, len(results))
+	for _, f := range results {
+		if f != nil {
+			facets = append(facets, *f)
 		}
-		f := Facet{
-			Prop:      p,
-			Label:     sch.Label(p),
-			Labeled:   sch.HasLabel(p),
-			ValueType: sch.ValueType(p),
-			Values:    values,
-			Distinct:  distinct,
-			Coverage:  coverage,
-			Preferred: sch.IsFacet(p),
-		}
-		if p == rdf.Type {
-			// System vocabulary always displays readably, even on datasets
-			// that otherwise show raw identifiers (Figure 7).
-			f.Label, f.Labeled = "type", true
-		}
-		if !shared && !opts.IncludeUnshared && !f.Preferred {
-			continue
-		}
-		sortValues(f.Values, opts.ByCount)
-		if opts.MaxValues > 0 && len(f.Values) > opts.MaxValues {
-			f.Values = f.Values[:opts.MaxValues]
-		}
-		facets = append(facets, f)
 	}
 
 	sort.Slice(facets, func(i, j int) bool {
@@ -188,12 +163,75 @@ func Summarize(g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) [
 	return facets
 }
 
+// summarizeProp aggregates one property over the collection, returning nil
+// for hidden, uncovered, or unshared-and-unpreferred properties. seen is
+// the caller's epoch-stamp array (epoch must be fresh for this call) and
+// buf its reusable intersection scratch — both owned by a single worker.
+func summarizeProp(g *rdf.Graph, sch *schema.Store, p rdf.IRI, coll itemset.Set, seen []uint32, epoch uint32, buf *[]uint32, opts Options) *Facet {
+	if sch.Hidden(p) {
+		return nil
+	}
+	coverage, distinct := 0, 0
+	shared := false
+	var values []Value
+	g.ForEachValuePosting(p, func(o rdf.Term, subjects itemset.Set) bool {
+		inter := itemset.IntersectInto(*buf, subjects, coll)
+		*buf = inter.Slice()[:0]
+		n := inter.Len()
+		if n == 0 {
+			return true
+		}
+		distinct++
+		if n >= 2 {
+			shared = true
+		}
+		inter.ForEach(func(id uint32) bool {
+			if seen[id] != epoch {
+				seen[id] = epoch
+				coverage++
+			}
+			return true
+		})
+		if opts.MinCount > 1 && n < opts.MinCount {
+			return true
+		}
+		values = append(values, Value{Term: o, Label: g.TermLabel(o), Count: n})
+		return true
+	})
+	if coverage == 0 {
+		return nil
+	}
+	f := Facet{
+		Prop:      p,
+		Label:     sch.Label(p),
+		Labeled:   sch.HasLabel(p),
+		ValueType: sch.ValueType(p),
+		Values:    values,
+		Distinct:  distinct,
+		Coverage:  coverage,
+		Preferred: sch.IsFacet(p),
+	}
+	if p == rdf.Type {
+		// System vocabulary always displays readably, even on datasets
+		// that otherwise show raw identifiers (Figure 7).
+		f.Label, f.Labeled = "type", true
+	}
+	if !shared && !opts.IncludeUnshared && !f.Preferred {
+		return nil
+	}
+	sortValues(f.Values, opts.ByCount)
+	if opts.MaxValues > 0 && len(f.Values) > opts.MaxValues {
+		f.Values = f.Values[:opts.MaxValues]
+	}
+	return &f
+}
+
 // SummarizeContext is Summarize with tracing: when ctx carries a trace
 // (obs.StartTrace) the aggregation appears as a facets.summarize span
 // annotated with collection size and facet count.
 func SummarizeContext(ctx context.Context, g *rdf.Graph, sch *schema.Store, items []rdf.IRI, opts Options) []Facet {
-	_, sp := obs.StartSpan(ctx, "facets.summarize")
-	facets := Summarize(g, sch, items, opts)
+	ctx, sp := obs.StartSpan(ctx, "facets.summarize")
+	facets := summarize(ctx, g, sch, items, opts)
 	sp.SetInt("items", len(items))
 	sp.SetInt("facets", len(facets))
 	sp.End()

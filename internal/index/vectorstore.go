@@ -9,6 +9,8 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"strings"
@@ -18,6 +20,7 @@ import (
 	"magnet/internal/ids"
 	"magnet/internal/itemset"
 	"magnet/internal/obs"
+	"magnet/internal/par"
 )
 
 // Vector-store observability: hit/miss on the generation-counter vector
@@ -109,6 +112,10 @@ type VectorStore struct {
 	// retrieval (SimilarTo) when stale.
 	post    [][]uint32
 	postGen uint64
+
+	// pool chunks similarity/centroid scans across workers; nil scans
+	// serially. Guarded by mu.
+	pool *par.Pool
 }
 
 // NewVectorStore returns an empty vector store.
@@ -118,6 +125,22 @@ func NewVectorStore() *VectorStore {
 		terms:   ids.NewInterner[string](),
 		postGen: ^uint64(0), // force first postings build
 	}
+}
+
+// SetPool sets the worker pool similarity and centroid scans fan out on.
+// A nil pool (the default) scans serially; results are identical either
+// way — top-k selection uses a total order (score desc, ID asc) and the
+// centroid reduction's chunk shape is fixed independent of pool width.
+func (v *VectorStore) SetPool(p *par.Pool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.pool = p
+}
+
+func (v *VectorStore) getPool() *par.Pool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.pool
 }
 
 // docnum interns docID and grows the per-document columns to cover it.
@@ -362,13 +385,36 @@ func Dot(a, b map[string]float64) float64 {
 	return s
 }
 
+// centroidChunk is the fixed reduction shape for Centroid: ids are summed
+// in chunks of this size and the per-chunk partials merged in chunk order.
+// The shape depends only on len(ids) — never on pool width — so the
+// float-addition association, and therefore every output bit, is identical
+// at every width. Collections up to one chunk reduce exactly like a plain
+// serial loop.
+const centroidChunk = 256
+
 // Centroid returns the normalized sum of the documents' vectors — the
 // "average member" of the collection the paper dots against (§5.3). Absent
 // IDs are skipped. The result has unit length unless empty.
 func (v *VectorStore) Centroid(ids []string) map[string]float64 {
+	nchunks := (len(ids) + centroidChunk - 1) / centroidChunk
+	parts := make([]map[string]float64, nchunks)
+	err := par.ForChunks(context.Background(), v.getPool(), len(ids), centroidChunk, func(lo, hi int) {
+		part := make(map[string]float64)
+		for _, id := range ids[lo:hi] {
+			for t, w := range v.Vector(id) {
+				part[t] += w
+			}
+		}
+		parts[lo/centroidChunk] = part
+	})
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
 	sum := make(map[string]float64)
-	for _, id := range ids {
-		for t, w := range v.Vector(id) {
+	for _, part := range parts {
+		for t, w := range part {
 			sum[t] += w
 		}
 	}
@@ -409,7 +455,9 @@ func (v *VectorStore) postingsLocked() [][]uint32 {
 
 // SimilarTo returns up to k documents most similar to the query vector, in
 // descending score order, skipping documents for which exclude returns true
-// and documents with zero score. exclude may be nil.
+// and documents with zero score. exclude may be nil; when the store has a
+// pool it may be called from multiple workers at once, so it must be safe
+// for concurrent use (reading pre-built state is fine).
 func (v *VectorStore) SimilarTo(query map[string]float64, k int, exclude func(string) bool) []Scored {
 	if k <= 0 || len(query) == 0 {
 		return nil
@@ -426,16 +474,43 @@ func (v *VectorStore) SimilarTo(query map[string]float64, k int, exclude func(st
 		}
 	}
 	cands := b.Extract()
+	pool := v.pool
 	v.mu.Unlock()
 
+	// Chunk the candidate range across the pool; each chunk keeps only its
+	// local top-k, and the merged list re-sorts under the same total order
+	// (score desc, ID asc). IDs are unique, so the order is total and the
+	// global top-k is identical however the candidates were chunked.
 	docIDs := v.docs.AppendKeys(make([]string, 0, cands.Len()), cands.Slice())
-	scores := make([]Scored, 0, len(docIDs))
-	for _, docID := range docIDs {
-		if exclude != nil && exclude(docID) {
-			continue
+	chunk := par.ChunkFor(pool, len(docIDs))
+	nchunks := (len(docIDs) + chunk - 1) / chunk
+	parts := make([][]Scored, nchunks)
+	err := par.ForChunks(context.Background(), pool, len(docIDs), chunk, func(lo, hi int) {
+		local := make([]Scored, 0, hi-lo)
+		for _, docID := range docIDs[lo:hi] {
+			if exclude != nil && exclude(docID) {
+				continue
+			}
+			if s := Dot(query, v.Vector(docID)); s > 0 {
+				local = append(local, Scored{docID, s})
+			}
 		}
-		if s := Dot(query, v.Vector(docID)); s > 0 {
-			scores = append(scores, Scored{docID, s})
+		if len(local) > k {
+			sortScored(local)
+			local = local[:k]
+		}
+		parts[lo/chunk] = local
+	})
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+	var scores []Scored
+	if nchunks == 1 {
+		scores = parts[0]
+	} else {
+		for _, part := range parts {
+			scores = append(scores, part...)
 		}
 	}
 	sortScored(scores)

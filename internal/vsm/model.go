@@ -1,12 +1,13 @@
 package vsm
 
 import (
+	"context"
+	"errors"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"magnet/internal/index"
+	"magnet/internal/par"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
 	"magnet/internal/text"
@@ -94,6 +95,17 @@ type Model struct {
 	// stats holds numeric range statistics per property path, populated by
 	// IndexAll's first pass.
 	stats map[string]*Range
+
+	// pool bounds IndexAll's parallel vectorization; nil indexes serially.
+	pool *par.Pool
+}
+
+// SetPool sets the worker pool for batch indexing and hands it to the
+// vector store for similarity/centroid scans. Call before IndexAll; a nil
+// pool (the default) keeps everything serial.
+func (m *Model) SetPool(p *par.Pool) {
+	m.pool = p
+	m.store.SetPool(p)
 }
 
 // New returns a model over g with annotations from sch.
@@ -139,32 +151,20 @@ func (m *Model) IndexAll(items []rdf.IRI) {
 		m.walk(it, nil, m.statsVisitor())
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(items) {
-		workers = len(items)
+	// Vectorize on the pool — it only reads the graph and the completed
+	// statistics — then store serially in item order, so doc/term interning
+	// order (and thus the store's internal numbering) is deterministic at
+	// every pool width, unlike the old racing-workers scheme.
+	vecs, err := par.Map(context.Background(), m.pool, items, func(i int, it rdf.IRI) map[string]float64 {
+		return m.Vectorize(it)
+	})
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
 	}
-	if workers <= 1 {
-		for _, it := range items {
-			m.store.Add(string(it), m.Vectorize(it))
-		}
-		return
+	for i, it := range items {
+		m.store.Add(string(it), vecs[i])
 	}
-	var wg sync.WaitGroup
-	next := make(chan rdf.IRI)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for it := range next {
-				m.store.Add(string(it), m.Vectorize(it))
-			}
-		}()
-	}
-	for _, it := range items {
-		next <- it
-	}
-	close(next)
-	wg.Wait()
 }
 
 // IndexItem indexes (or reindexes) a single item using the statistics from
