@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet magnet-vet fuzz race-par bench-json bench-parallel check
+.PHONY: build test race vet magnet-vet vet-budget fuzz race-par bench-json bench-parallel check
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,31 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The project's own static analyzers (internal/analysis): locking
-# discipline, float equality, error wrapping, map-iteration determinism,
-# context-first signatures. Exits non-zero on any finding.
+# The project's own static analyzers (internal/analysis): per-package
+# invariants (locking discipline, float equality, error wrapping,
+# map-iteration determinism, context-first signatures) plus the
+# interprocedural passes (hot-path allocation freedom, publish-then-freeze
+# immutability, cross-call lock requirements). Findings are filtered
+# through the committed baseline; anything new — or any stale baseline
+# entry — exits non-zero.
 magnet-vet:
-	$(GO) run ./cmd/magnet-vet ./...
+	$(GO) run ./cmd/magnet-vet -baseline magnet-vet.baseline ./...
+
+# Wall-clock guard for the analysis suite: the interprocedural engine
+# (module load, call graph, fact fixpoints) must stay fast enough to run
+# on every check. Prints the measured time and fails past VETBUDGET
+# seconds. The budget is deliberately generous — it catches regressions
+# that make the fixpoint quadratic, not scheduler jitter.
+VETBUDGET ?= 60
+vet-budget:
+	@$(GO) build -o /tmp/magnet-vet-budget ./cmd/magnet-vet
+	@start=$$(date +%s); \
+	/tmp/magnet-vet-budget -baseline magnet-vet.baseline ./... || exit 1; \
+	end=$$(date +%s); elapsed=$$((end-start)); \
+	echo "magnet-vet wall clock: $${elapsed}s (budget $(VETBUDGET)s)"; \
+	if [ $$elapsed -gt $(VETBUDGET) ]; then \
+		echo "magnet-vet exceeded its $(VETBUDGET)s budget" >&2; exit 1; \
+	fi
 
 # Short fuzz passes over every fuzz target; bump FUZZTIME for a deeper run.
 fuzz:
@@ -53,4 +73,4 @@ bench-parallel:
 	$(GO) test -run='^$$' -bench='^BenchmarkParallel' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_$(BENCHDATE).json
 	@echo wrote BENCH_$(BENCHDATE).json
 
-check: build vet magnet-vet test race race-par fuzz bench-json
+check: build vet vet-budget test race race-par fuzz bench-json

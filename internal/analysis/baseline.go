@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Baseline is the set of accepted findings magnet-vet tolerates: the
+// staticcheck-style ratchet. The committed file holds one finding per line
+// in the exact Diagnostic.String() format with module-root-relative slash
+// paths; '#' lines and blank lines are comments. A run fails on any finding
+// not in the baseline — and on any baseline entry no finding matches, so
+// the file can only shrink as debt is paid down.
+type Baseline struct {
+	entries map[string]bool
+}
+
+// ParseBaseline reads the baseline file format.
+func ParseBaseline(data []byte) *Baseline {
+	b := &Baseline{entries: make(map[string]bool)}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line] = true
+	}
+	return b
+}
+
+// baselineKey renders d in the baseline's line format, with the file name
+// rewritten through rel.
+func baselineKey(d Diagnostic, rel func(string) string) string {
+	file := d.Pos.Filename
+	if rel != nil {
+		file = rel(file)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Apply filters diags through the baseline: it returns the findings not
+// covered by an entry, plus the stale entries that covered nothing (sorted;
+// each stale entry is itself an error — remove it from the file).
+func (b *Baseline) Apply(diags []Diagnostic, rel func(string) string) (fresh []Diagnostic, stale []string) {
+	matched := make(map[string]bool, len(b.entries))
+	for _, d := range diags {
+		key := baselineKey(d, rel)
+		if b.entries[key] {
+			matched[key] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for e := range b.entries {
+		if !matched[e] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// FormatBaseline renders diags as the baseline file contents.
+func FormatBaseline(diags []Diagnostic, rel func(string) string) string {
+	var sb strings.Builder
+	sb.WriteString("# magnet-vet baseline: accepted pre-existing findings, one per line.\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/magnet-vet -write-baseline <this file> ./...\n")
+	for _, d := range diags {
+		sb.WriteString(baselineKey(d, rel))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotDirective marks a function whose body — and everything it transitively
+// calls — must not allocate. It is seeded onto the engine's per-step inner
+// loops: itemset set algebra, query predicate evaluation, obs recording,
+// index posting/vector lookups, and the facet-summarization kernel.
+const HotDirective = "//magnet:hot"
+
+// HotFact is recorded on every function reachable from a //magnet:hot seed.
+const HotFact = "hot"
+
+// HotAlloc enforces the allocation-free discipline of annotated hot paths
+// interprocedurally: starting from every function marked //magnet:hot, it
+// walks the static call graph and reports any allocation it can prove in a
+// reachable body — function literals that capture variables (captured
+// closures are heap-allocated), interface boxing at call and conversion
+// sites, fmt calls, string concatenation, map/slice/new allocations, and
+// append growth on slices not rooted in a caller-provided parameter (the
+// amortized-buffer pattern the engine's *Into operations use). Diagnostics
+// name the call chain from the hot seed to the allocation.
+//
+// Static blind spots are deliberate: calls through interfaces or function
+// values do not resolve, and bodies outside the loaded packages (stdlib)
+// are leaves — which is why hot annotations sit on concrete methods.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "functions marked //magnet:hot, and their transitive callees, must not allocate",
+	}
+	a.RunModule = runHotAlloc
+	return a
+}
+
+func runHotAlloc(mp *ModulePass) {
+	var seeds []*FuncNode
+	for _, n := range mp.Graph.Funcs() {
+		if HasDirective(n.Decl.Doc, HotDirective) {
+			seeds = append(seeds, n)
+		}
+	}
+	if len(seeds) == 0 {
+		return
+	}
+	reach := mp.Graph.ReachableFrom(seeds)
+	for _, n := range reach.Nodes() {
+		mp.Facts.Set(n.Fn, HotFact, true)
+	}
+	for _, n := range reach.Nodes() {
+		if n.Decl.Body != nil {
+			checkHotFunc(mp, n, reach)
+		}
+	}
+}
+
+func checkHotFunc(mp *ModulePass, n *FuncNode, reach *Reach) {
+	pkg := n.Pkg
+	chain := strings.Join(reach.Chain(n), " → ")
+	report := func(pos token.Pos, format string, args ...any) {
+		mp.Reportf(pkg, pos, "%s [hot path: %s]", fmt.Sprintf(format, args...), chain)
+	}
+	params := paramObjects(pkg, n.Decl)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.FuncLit:
+			if caps := capturedVars(pkg, n.Decl, e); len(caps) > 0 {
+				report(e.Pos(), "function literal captures %s; capturing closures allocate", strings.Join(caps, ", "))
+			}
+		case *ast.CompositeLit:
+			switch typeUnder(pkg.Info.TypeOf(e)).(type) {
+			case *types.Map:
+				report(e.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(e.Pos(), "slice literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringType(pkg.Info.TypeOf(e)) {
+				report(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isStringType(pkg.Info.TypeOf(e.Lhs[0])) {
+				report(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(report, pkg, e, params)
+		}
+		return true
+	})
+}
+
+// checkHotCall inspects one call expression in a hot body: allocating
+// built-ins, conversions that box into interfaces, fmt calls, and
+// interface-typed parameters receiving concrete arguments.
+func checkHotCall(report func(token.Pos, string, ...any), pkg *Package, call *ast.CallExpr, params map[types.Object]bool) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				switch typeUnder(pkg.Info.TypeOf(call)).(type) {
+				case *types.Map:
+					report(call.Pos(), "make(map) allocates")
+				case *types.Slice:
+					report(call.Pos(), "make(slice) allocates")
+				case *types.Chan:
+					report(call.Pos(), "make(chan) allocates")
+				}
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !rootedIn(pkg, call.Args[0], params) {
+					report(call.Pos(), "append growth on a slice not rooted in a parameter allocates; take a caller-provided buffer")
+				}
+			}
+			return
+		}
+	}
+	// Conversion to an interface type boxes its operand.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pkg.Info.TypeOf(call.Args[0]); boxes(at) {
+				report(call.Pos(), "conversion boxes %s into %s", typeName(pkg, at), typeName(pkg, tv.Type))
+			}
+		}
+		return
+	}
+	fn := CalleeOf(pkg, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "call to fmt.%s allocates and formats", fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	checkBoxingArgs(report, pkg, call, sig)
+}
+
+// checkBoxingArgs flags concrete, non-pointer-shaped arguments passed to
+// interface-typed parameters — each such argument heap-allocates its boxed
+// copy at the call site.
+func checkBoxingArgs(report func(token.Pos, string, ...any), pkg *Package, call *ast.CallExpr, sig *types.Signature) {
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				pt = sig.Params().At(np - 1).Type() // arg is already the slice
+			} else if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if at := pkg.Info.TypeOf(arg); boxes(at) {
+			report(arg.Pos(), "argument boxes %s into %s", typeName(pkg, at), typeName(pkg, pt))
+		}
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// heap-allocates: concrete and not pointer-shaped (pointers, maps, chans
+// and funcs are stored directly in the interface word).
+func boxes(t types.Type) bool {
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		switch u.Kind() {
+		case types.UntypedNil, types.UnsafePointer, types.Invalid:
+			return false
+		}
+	case *types.Tuple:
+		return false
+	}
+	return true
+}
+
+// paramObjects collects the parameter and receiver objects of fd and of
+// every function literal inside it — the slice roots append may grow
+// without a finding (caller-provided buffers amortize their growth).
+func paramObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addList(fd.Recv)
+	addList(fd.Type.Params)
+	if fd.Body != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				addList(lit.Type.Params)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rootedIn reports whether e, stripped of index/slice/deref/selector
+// wrapping, bottoms out in one of the given objects.
+func rootedIn(pkg *Package, e ast.Expr, objs map[types.Object]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			return objs[pkg.Info.Uses[x]]
+		default:
+			return false
+		}
+	}
+}
+
+// capturedVars returns the names of variables a function literal captures
+// from its enclosing function (sorted, deduplicated): objects declared
+// inside the enclosing declaration but before/outside the literal.
+func capturedVars(pkg *Package, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		pos := obj.Pos()
+		if pos < fd.Pos() || pos >= fd.End() {
+			return true // package-level or foreign
+		}
+		if pos >= lit.Pos() && pos < lit.End() {
+			return true // the literal's own declaration
+		}
+		if !seen[obj.Name()] {
+			seen[obj.Name()] = true
+			out = append(out, obj.Name())
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func typeName(pkg *Package, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pkg.Types))
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RequiresLocksFact is recorded on methods that must be entered with a
+// mutex already held: *Locked methods that touch guarded fields, and
+// *Locked methods that call such methods on their own receiver. The value
+// is a map[string]bool of required mutex field names.
+const RequiresLocksFact = "requires-locks"
+
+// LockFlow extends the guarded-by discipline across call boundaries. The
+// per-package lockedfield analyzer checks direct field accesses; LockFlow
+// derives which methods *require* a lock on entry — a fooLocked method that
+// reads a guarded field, or one that calls another requiring method on its
+// own receiver — and then flags every call site that invokes a requiring
+// method without visibly holding the mutex on that value. The requirement
+// set is computed to a cross-package fixpoint, so a chain of *Locked
+// helpers pushes the obligation all the way out to the first caller that
+// should be taking the lock.
+func LockFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "lockflow",
+		Doc:  "methods that require a lock on entry must be called with that lock held",
+	}
+	a.RunModule = runLockFlow
+	return a
+}
+
+func runLockFlow(mp *ModulePass) {
+	guards := collectGuards(mp)
+	if len(guards) == 0 {
+		return
+	}
+	seedRequires(mp, guards)
+	Propagate(mp.Graph, func(n *FuncNode) bool { return absorbRequires(mp, n) })
+	for _, n := range mp.Graph.Funcs() {
+		if n.Decl.Body != nil {
+			reportLockFlow(mp, n)
+		}
+	}
+}
+
+// collectGuards gathers every "guarded by <mu>" annotation in the module,
+// keyed by the struct's type object: field name → mutex field name.
+// Annotations naming a nonexistent mutex are lockedfield's finding and are
+// skipped here.
+func collectGuards(mp *ModulePass) map[types.Object]map[string]string {
+	out := make(map[types.Object]map[string]string)
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Syntax {
+			ast.Inspect(f, func(node ast.Node) bool {
+				ts, ok := node.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				fields := make(map[string]bool)
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						fields[name.Name] = true
+					}
+				}
+				var g map[string]string
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field)
+					if mu == "" || !fields[mu] {
+						continue
+					}
+					if g == nil {
+						g = make(map[string]string)
+					}
+					for _, name := range field.Names {
+						g[name.Name] = mu
+					}
+				}
+				if g != nil {
+					if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+						out[obj] = g
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// receiverTypeObj returns the type object of fn's receiver's base type, or
+// nil for plain functions and non-named receivers.
+func receiverTypeObj(fn *types.Func) types.Object {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// seedRequires records the base requirement facts: a *Locked method that
+// accesses a guarded field through its receiver without acquiring the
+// mutex itself requires that mutex on entry.
+func seedRequires(mp *ModulePass, guards map[types.Object]map[string]string) {
+	for _, n := range mp.Graph.Funcs() {
+		if n.Decl.Recv == nil || n.Decl.Body == nil || !strings.HasSuffix(n.Fn.Name(), "Locked") {
+			continue
+		}
+		g := guards[receiverTypeObj(n.Fn)]
+		if g == nil {
+			continue
+		}
+		recvName := receiverName(n.Decl)
+		if recvName == "" {
+			continue
+		}
+		held := heldMutexes(n.Decl.Body, recvName)
+		var req map[string]bool
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			sel, ok := node.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != recvName {
+				return true
+			}
+			mu, guarded := g[sel.Sel.Name]
+			if guarded && !held[mu] {
+				if req == nil {
+					req = make(map[string]bool)
+				}
+				req[mu] = true
+			}
+			return true
+		})
+		if req != nil {
+			mp.Facts.Set(n.Fn, RequiresLocksFact, req)
+		}
+	}
+}
+
+// absorbRequires is the Propagate step: a *Locked method that calls a
+// requiring method on its own receiver, without holding the mutex, inherits
+// the requirement (the obligation moves to its callers). Returns whether
+// the method's requirement set grew.
+func absorbRequires(mp *ModulePass, n *FuncNode) bool {
+	if n.Decl.Recv == nil || n.Decl.Body == nil || !strings.HasSuffix(n.Fn.Name(), "Locked") {
+		return false
+	}
+	recvName := receiverName(n.Decl)
+	if recvName == "" {
+		return false
+	}
+	var cur map[string]bool
+	if v, ok := mp.Facts.Get(n.Fn, RequiresLocksFact); ok {
+		cur = v.(map[string]bool)
+	}
+	held := heldMutexes(n.Decl.Body, recvName)
+	changed := false
+	for _, c := range n.Calls {
+		if callReceiverName(c.Expr) != recvName {
+			continue
+		}
+		v, ok := mp.Facts.Get(c.Callee.Fn, RequiresLocksFact)
+		if !ok {
+			continue
+		}
+		for mu := range v.(map[string]bool) {
+			if held[mu] || cur[mu] {
+				continue
+			}
+			if cur == nil {
+				cur = make(map[string]bool)
+			}
+			cur[mu] = true
+			changed = true
+		}
+	}
+	if changed {
+		mp.Facts.Set(n.Fn, RequiresLocksFact, cur)
+	}
+	return changed
+}
+
+// callReceiverName returns the simple identifier a method call is made on
+// ("b" for b.fooLocked()), or "" for chained or non-selector calls.
+func callReceiverName(call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// reportLockFlow flags calls from n to requiring methods made without the
+// required mutex visibly held on the callee's receiver value. Calls a
+// *Locked method makes on its own receiver are exempt — absorbRequires has
+// already pushed that obligation to its callers.
+func reportLockFlow(mp *ModulePass, n *FuncNode) {
+	recvName := ""
+	isLocked := false
+	if n.Decl.Recv != nil && strings.HasSuffix(n.Fn.Name(), "Locked") {
+		recvName = receiverName(n.Decl)
+		isLocked = true
+	}
+	for _, c := range n.Calls {
+		v, ok := mp.Facts.Get(c.Callee.Fn, RequiresLocksFact)
+		if !ok {
+			continue
+		}
+		vName := callReceiverName(c.Expr)
+		if vName == "" {
+			continue
+		}
+		if isLocked && vName == recvName {
+			continue
+		}
+		held := heldMutexes(n.Decl.Body, vName)
+		var missing []string
+		for mu := range v.(map[string]bool) {
+			if !held[mu] {
+				missing = append(missing, mu)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		sort.Strings(missing)
+		for _, mu := range missing {
+			mp.Reportf(n.Pkg, c.Site, "calls %s, which requires %s.%s to be held, without acquiring it", c.Callee.Name(), vName, mu)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package lockflow exercises guarded-by checking across call boundaries:
+// a *Locked method touching a guarded field requires the mutex on entry,
+// the requirement propagates through *Locked call chains, and call sites
+// that do not visibly hold the lock are findings.
+package lockflow
+
+import "sync"
+
+type board struct {
+	mu sync.Mutex
+	// guarded by mu
+	items []string
+}
+
+// itemsLocked reads a guarded field: it requires b.mu on entry.
+func (b *board) itemsLocked() []string { return b.items }
+
+// countLocked inherits the requirement through the call chain.
+func (b *board) countLocked() int { return len(b.itemsLocked()) }
+
+// Snapshot holds the lock before descending: fine.
+func (b *board) Snapshot() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.itemsLocked()
+}
+
+// Peek calls into the locked chain without the lock.
+func (b *board) Peek() int {
+	return b.countLocked() // want "requires b.mu to be held"
+}
+
+// use is a plain function: the same obligation applies to its argument.
+func use(b *board) int {
+	return b.countLocked() // want "requires b.mu to be held"
+}
+
+// useHeld takes the lock around the call: fine.
+func useHeld(b *board) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.countLocked()
+}
+
+// selfLocking acquires the mutex itself despite the suffix, so it demands
+// nothing of its callers.
+func (b *board) refreshLocked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+func useRefresh(b *board) int { return b.refreshLocked() }

@@ -1,0 +1,25 @@
+// Package unusedignore exercises stale-suppression reporting: an ignore
+// directive that silences nothing is itself a finding.
+package unusedignore
+
+// used: the directive suppresses a real floateq finding — no report.
+func eq(a, b float64) bool {
+	return a == b //magnet-vet:ignore floateq
+}
+
+// stale: integers never trip floateq, so the directive is dead.
+func stale(a, b int) bool {
+	return a == b //magnet-vet:ignore floateq // want "suppresses nothing"
+}
+
+// staleBare: a bare directive claims the whole run set and still catches
+// nothing.
+func staleBare(a, b int) bool {
+	return a == b //magnet-vet:ignore // want "suppresses nothing"
+}
+
+// notRun names an analyzer outside this run: staleness is undecidable, so
+// no report.
+func notRun(a, b int) bool {
+	return a == b //magnet-vet:ignore errwrap
+}

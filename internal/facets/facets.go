@@ -176,7 +176,7 @@ func summarizeProp(g *rdf.Graph, sch *schema.Store, p rdf.IRI, coll itemset.Set,
 	var values []Value
 	g.ForEachValuePosting(p, func(o rdf.Term, subjects itemset.Set) bool {
 		inter := itemset.IntersectInto(*buf, subjects, coll)
-		*buf = inter.Slice()[:0]
+		*buf = inter.Buffer()[:0]
 		n := inter.Len()
 		if n == 0 {
 			return true
@@ -185,13 +185,7 @@ func summarizeProp(g *rdf.Graph, sch *schema.Store, p rdf.IRI, coll itemset.Set,
 		if n >= 2 {
 			shared = true
 		}
-		inter.ForEach(func(id uint32) bool {
-			if seen[id] != epoch {
-				seen[id] = epoch
-				coverage++
-			}
-			return true
-		})
+		coverage += countCoverage(inter.Slice(), seen, epoch)
 		if opts.MinCount > 1 && n < opts.MinCount {
 			return true
 		}
@@ -224,6 +218,25 @@ func summarizeProp(g *rdf.Graph, sch *schema.Store, p rdf.IRI, coll itemset.Set,
 		f.Values = f.Values[:opts.MaxValues]
 	}
 	return &f
+}
+
+// countCoverage stamps each member into seen at epoch and returns how many
+// were newly stamped — the per-value inner loop of Summarize. It used to be
+// a closure over seen/epoch/coverage inside summarizeProp, which heap-
+// allocated once per (property, value) pair; as a plain function it is
+// allocation-free by construction and magnet-vet's hotalloc keeps it that
+// way.
+//
+//magnet:hot
+func countCoverage(members, seen []uint32, epoch uint32) int {
+	n := 0
+	for _, id := range members {
+		if seen[id] != epoch {
+			seen[id] = epoch
+			n++
+		}
+	}
+	return n
 }
 
 // SummarizeContext is Summarize with tracing: when ctx carries a trace

@@ -69,6 +69,7 @@ func (p *posting) remove(dn uint32) bool {
 	return len(p.dns) == 0
 }
 
+//magnet:hot
 func searchPost(dns []uint32, dn uint32) int {
 	lo, hi := 0, len(dns)
 	for lo < hi {
@@ -271,22 +272,34 @@ func (ix *TextIndex) Surface(term string) string {
 // the given field. Single-field lookups are zero-copy views; AnyField
 // unions the field postings through a bitmap.
 func (ix *TextIndex) docnumsWithTermLocked(term, field string) itemset.Set {
+	if field != AnyField {
+		return ix.fieldPostingLocked(term, field)
+	}
 	byField := ix.postings[term]
 	if byField == nil {
 		return itemset.Set{}
-	}
-	if field != AnyField {
-		p := byField[field]
-		if p == nil {
-			return itemset.Set{}
-		}
-		return itemset.FromSorted(p.dns)
 	}
 	b := itemset.NewBits(ix.docs.Len())
 	for _, p := range byField {
 		b.AddSlice(p.dns)
 	}
 	return b.Extract()
+}
+
+// fieldPostingLocked is the zero-copy fast path: the posting view for one
+// analyzed term in one concrete field. Callers hold ix.mu.
+//
+//magnet:hot
+func (ix *TextIndex) fieldPostingLocked(term, field string) itemset.Set {
+	byField := ix.postings[term]
+	if byField == nil {
+		return itemset.Set{}
+	}
+	p := byField[field]
+	if p == nil {
+		return itemset.Set{}
+	}
+	return itemset.FromSorted(p.dns)
 }
 
 // rehydrate converts a docnum set to sorted docID strings.

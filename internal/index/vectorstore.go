@@ -281,6 +281,7 @@ func (v *VectorStore) IDF(term string) float64 {
 	return v.idfLocked(t)
 }
 
+//magnet:hot
 func (v *VectorStore) idfLocked(t uint32) float64 {
 	df := v.df[t]
 	if df == 0 {
@@ -291,6 +292,8 @@ func (v *VectorStore) idfLocked(t uint32) float64 {
 
 // validLocked reports whether the vector cached for dn is still correct:
 // nothing it depends on may have moved past its build generation.
+//
+//magnet:hot
 func (v *VectorStore) validLocked(dn uint32) bool {
 	g := v.cacheGen[dn]
 	if g == v.gen {

@@ -65,7 +65,16 @@ func (s Set) IsEmpty() bool { return len(s.ids) == 0 }
 // set's backing array; callers must not mutate it. Sorted order is free —
 // no per-call sort (callers that used to re-sort hash-map set output can
 // consume this directly).
+//
+//magnet:frozen
 func (s Set) Slice() []uint32 { return s.ids }
+
+// Buffer surrenders the set's backing array for reuse as scratch: unlike
+// Slice, the caller takes ownership and may overwrite it, and must treat
+// the set as dead afterwards. It exists for buffer-recycling loops that
+// re-slice a spent result to [:0] and feed it back into an *Into
+// operation.
+func (s Set) Buffer() []uint32 { return s.ids }
 
 // Items returns a fresh copy of the members in ascending order.
 func (s Set) Items() []uint32 {
@@ -78,6 +87,8 @@ func (s Set) Items() []uint32 {
 }
 
 // Has reports membership by binary search.
+//
+//magnet:hot
 func (s Set) Has(id uint32) bool {
 	i := searchIDs(s.ids, id)
 	return i < len(s.ids) && s.ids[i] == id
@@ -153,7 +164,9 @@ func (s Set) Intersect(t Set) Set { return IntersectInto(nil, s, t) }
 
 // IntersectInto computes a ∩ b into dst's backing array (grown as needed),
 // returning the result set. dst may be nil; passing a previous result's
-// Slice() reuses its allocation.
+// Buffer() reuses its allocation.
+//
+//magnet:hot
 func IntersectInto(dst []uint32, a, b Set) Set {
 	x, y := a.ids, b.ids
 	if len(x) > len(y) {
@@ -196,6 +209,8 @@ func IntersectInto(dst []uint32, a, b Set) Set {
 }
 
 // IntersectCount returns |s ∩ t| without materializing the intersection.
+//
+//magnet:hot
 func (s Set) IntersectCount(t Set) int {
 	x, y := s.ids, t.ids
 	if len(x) > len(y) {
@@ -237,6 +252,8 @@ func (s Set) Union(t Set) Set { return UnionInto(nil, s, t) }
 
 // UnionInto computes a ∪ b into dst's backing array (grown as needed). dst
 // must not alias either operand's backing array.
+//
+//magnet:hot
 func UnionInto(dst []uint32, a, b Set) Set {
 	x, y := a.ids, b.ids
 	dst = dst[:0]
@@ -266,6 +283,8 @@ func (s Set) Minus(t Set) Set { return MinusInto(nil, s, t) }
 
 // MinusInto computes a \ b into dst's backing array (grown as needed). dst
 // must not alias either operand's backing array.
+//
+//magnet:hot
 func MinusInto(dst []uint32, a, b Set) Set {
 	x, y := a.ids, b.ids
 	dst = dst[:0]

@@ -37,9 +37,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//magnet:hot
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//magnet:hot
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -52,9 +56,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//magnet:hot
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adds delta (may be negative).
+//
+//magnet:hot
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current value.
@@ -78,6 +86,8 @@ type Histogram struct {
 }
 
 // Observe records v (negative values clamp to zero).
+//
+//magnet:hot
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -95,6 +105,8 @@ func (h *Histogram) Observe(v int64) {
 // way to time a section:
 //
 //	defer h.ObserveSince(time.Now())
+//
+//magnet:hot
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(int64(time.Since(start)))
 }

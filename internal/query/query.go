@@ -210,6 +210,8 @@ type Property struct {
 
 // Eval implements Predicate via the graph's reverse index — a zero-copy
 // view of the posting list.
+//
+//magnet:hot
 func (p Property) Eval(e *Engine) Set {
 	return e.setFromIDs(e.g.SubjectIDSet(p.Prop, p.Value))
 }

@@ -31,6 +31,8 @@ type Graph struct {
 	spo map[IRI]map[IRI]map[string]Term
 	// pos: predicate → object key → sorted subject-ID posting list
 	// (copy-on-write: slices are never mutated in place once published).
+	//
+	//magnet:frozen
 	pos map[IRI]map[string][]uint32
 	// terms interns object terms by key, for recovering a Term from an
 	// index key.
@@ -40,7 +42,7 @@ type Graph struct {
 	// sorted copy-on-write posting of all live subjects (those with at
 	// least one triple).
 	in      *ids.Interner[IRI]
-	subjIDs []uint32
+	subjIDs []uint32 //magnet:frozen
 
 	size    int
 	version uint64
@@ -360,6 +362,8 @@ func (g *Graph) SubjectByID(id uint32) IRI { return g.in.Key(id) }
 // SubjectIDSet returns the posting list of (·, p, o) as a dense ID set —
 // an immutable snapshot (postings are copy-on-write), shared with the
 // index, so this is allocation-free.
+//
+//magnet:hot
 func (g *Graph) SubjectIDSet(p IRI, o Term) itemset.Set {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -368,6 +372,8 @@ func (g *Graph) SubjectIDSet(p IRI, o Term) itemset.Set {
 
 // AllSubjectIDs returns the IDs of every live subject as an immutable
 // snapshot, allocation-free.
+//
+//magnet:hot
 func (g *Graph) AllSubjectIDs() itemset.Set {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
