@@ -39,10 +39,15 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Document is the emitted JSON root.
+// Document is the emitted JSON root. GoMaxProcs and NumCPU record the
+// machine the run happened on — per-benchmark Procs only captures the
+// -cpu suffix, so without these two numbers runs from differently-sized
+// hosts are not comparable.
 type Document struct {
 	Date       string      `json:"date"`
 	GoVersion  string      `json:"go"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -50,8 +55,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`
 
 func main() {
 	doc := Document{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

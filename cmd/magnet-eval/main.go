@@ -7,12 +7,18 @@
 // Usage:
 //
 //	magnet-eval -exp fig1|fig2|fig5|fig6|fig7|fig8|factbook|courses|all
-//	            [-recipes N] [-seed N]
-//	magnet-eval -trace [-exp P5|fig2]
+//	            [-recipes N] [-seed N] [-segments dir]
+//	magnet-eval -trace [-exp P5|fig2] [-segments dir]
 //
 // -trace runs one navigation step (query → blackboard → advisors →
 // overview) under obs tracing and prints the span tree with per-stage
 // durations instead of the experiment output.
+//
+// -segments runs the experiment against a precompiled segment set written
+// by magnet-build instead of building the dataset in memory; the rendered
+// output is byte-identical. Only the single-dataset experiments support it
+// (fig1, fig2 over recipes; fig5, fig6 over inbox), and the set's manifest
+// must match the experiment's dataset and -recipes/-seed parameters.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"magnet/internal/annotate"
 	"magnet/internal/blackboard"
 	"magnet/internal/core"
+	"magnet/internal/dataload"
 	"magnet/internal/datasets/artstor"
 	"magnet/internal/datasets/courses"
 	"magnet/internal/datasets/factbook"
@@ -59,13 +66,54 @@ func apply(s *core.Session, a blackboard.Action) {
 }
 
 // parallelism is the -parallelism flag value, applied to every Magnet the
-// experiments open.
-var parallelism int
+// experiments open. segmentsDir is the -segments flag value; when set, the
+// single-dataset experiments open the precompiled set instead of building.
+var (
+	parallelism int
+	segmentsDir string
+)
 
 // open builds a Magnet with the run's parallelism setting applied.
 func open(g *rdf.Graph, opts core.Options) *core.Magnet {
 	opts.Parallelism = parallelism
 	return core.Open(g, opts)
+}
+
+// openDataset opens the named dataset for an experiment: from -segments
+// when set (after checking the set's manifest matches the dataset and
+// parameters the experiment asked for), otherwise by building it in memory.
+// Callers must Close the result.
+func openDataset(ctx context.Context, dataset string, n int, seed int64) *core.Magnet {
+	opts := core.Options{Parallelism: parallelism}
+	if segmentsDir == "" {
+		g, allSubjects, err := dataload.Load(dataload.Spec{Dataset: dataset, Recipes: n, Seed: seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "magnet-eval: load %s: %v\n", dataset, err)
+			os.Exit(1)
+		}
+		opts.IndexAllSubjects = allSubjects
+		return core.OpenContext(ctx, g, opts)
+	}
+	m, err := core.OpenSegmentsContext(ctx, segmentsDir, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "magnet-eval: open segments %s: %v\n", segmentsDir, err)
+		os.Exit(1)
+	}
+	man := m.Segments().Manifest
+	if man.Dataset != dataset {
+		fmt.Fprintf(os.Stderr, "magnet-eval: segment set %s holds dataset %q, experiment needs %q\n",
+			segmentsDir, man.Dataset, dataset)
+		os.Exit(1)
+	}
+	want := dataload.Spec{Dataset: dataset, Recipes: n, Seed: seed}.Params()
+	for k, v := range want {
+		if man.Params[k] != v {
+			fmt.Fprintf(os.Stderr, "magnet-eval: segment set %s built with %s=%d, experiment needs %s=%d (rebuild with magnet-build)\n",
+				segmentsDir, k, man.Params[k], k, v)
+			os.Exit(1)
+		}
+	}
+	return m
 }
 
 func main() {
@@ -74,11 +122,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	trace := flag.Bool("trace", false, "trace one navigation step (-exp P5 or fig2) and print its span tree")
 	flag.IntVar(&parallelism, "parallelism", 0, "worker pool size for the navigation pipeline (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&segmentsDir, "segments", "", "run against a precompiled segment set (fig1, fig2, fig5, fig6 only)")
 	flag.Parse()
 
 	if *trace {
 		traceExp(*exp, *nRecipes, *seed)
 		return
+	}
+
+	if segmentsDir != "" {
+		switch *exp {
+		case "fig1", "fig2", "fig5", "fig6":
+		default:
+			fmt.Fprintf(os.Stderr, "magnet-eval: -segments supports -exp fig1, fig2, fig5, or fig6, not %q\n", *exp)
+			os.Exit(2)
+		}
 	}
 
 	runners := map[string]func(int, int64){
@@ -137,13 +195,15 @@ func traceExp(exp string, n int, seed int64) {
 		fmt.Fprintf(os.Stderr, "magnet-eval: -trace supports -exp P5 or fig2, not %q\n", exp)
 		os.Exit(2)
 	}
-	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
-	m := open(g, core.Options{})
-	s := m.NewSession()
-
+	// Open inside the trace so the startup spans (startup.load and its
+	// per-component children) appear in the printed tree — for segment
+	// sets, that is the whole point of -trace -segments.
 	ctx, root := obs.StartTrace(context.Background(), "navigation-step")
-	s.SetContext(ctx)
 	start := time.Now()
+	m := openDataset(ctx, "recipes", n, seed)
+	defer m.Close()
+	s := m.NewSession()
+	s.SetContext(ctx)
 	apply(s, blackboard.ReplaceQuery{Query: q})
 	s.Pane()
 	s.Overview(6)
@@ -169,8 +229,8 @@ func traceExp(exp string, n int, seed int64) {
 // recipes with parsley.
 func fig1(n int, seed int64) {
 	header("E1 / Figure 1 — navigation pane on Greek + parsley recipes")
-	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
-	m := open(g, core.Options{})
+	m := openDataset(context.Background(), "recipes", n, seed)
+	defer m.Close()
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(
 		query.TypeIs(recipes.ClassRecipe),
@@ -180,7 +240,7 @@ func fig1(n int, seed int64) {
 	pane := s.Pane()
 	render.Pane(os.Stdout, pane, false)
 	fmt.Println()
-	render.Collection(os.Stdout, g, s.Items(), 8)
+	render.Collection(os.Stdout, m.Graph(), s.Items(), 8)
 
 	advisorsSeen := map[string]bool{}
 	for _, sec := range pane.Sections {
@@ -195,8 +255,8 @@ func fig1(n int, seed int64) {
 // fig2 reproduces Figure 2: the large-collection facet overview.
 func fig2(n int, seed int64) {
 	header("E2 / Figure 2 — facet overview of the full recipe collection")
-	g := recipes.Build(recipes.Config{Recipes: n, Seed: seed})
-	m := open(g, core.Options{})
+	m := openDataset(context.Background(), "recipes", n, seed)
+	defer m.Close()
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.TypeIs(recipes.ClassRecipe))})
 	fs := s.Overview(6)
@@ -217,8 +277,8 @@ func fig2(n int, seed int64) {
 // fig5 reproduces Figure 5: the date-range widget with query preview.
 func fig5(int, int64) {
 	header("E4 / Figure 5 — sent-date range widget on the inbox")
-	g := inbox.Build(inbox.Config{})
-	m := open(g, core.Options{})
+	m := openDataset(context.Background(), "inbox", 0, 0)
+	defer m.Close()
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
 		query.TypeIs(inbox.ClassMessage), query.TypeIs(inbox.ClassNewsItem),
@@ -240,8 +300,8 @@ func fig5(int, int64) {
 // fig6 reproduces Figure 6: inbox navigation with the body composition.
 func fig6(int, int64) {
 	header("E5 / Figure 6 — inbox navigation with body composition")
-	g := inbox.Build(inbox.Config{})
-	m := open(g, core.Options{})
+	m := openDataset(context.Background(), "inbox", 0, 0)
+	defer m.Close()
 	s := m.NewSession()
 	apply(s, blackboard.ReplaceQuery{Query: query.NewQuery(query.Or{Ps: []query.Predicate{
 		query.TypeIs(inbox.ClassMessage), query.TypeIs(inbox.ClassNewsItem),

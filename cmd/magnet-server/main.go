@@ -1,16 +1,20 @@
 // Command magnet-server serves Magnet's faceted navigation interface over
 // HTTP — the browser-window experience of the paper's Figure 1, on any of
-// the built-in datasets or an N-Triples file.
+// the built-in datasets, an N-Triples file, or a precompiled segment set.
+//
+// With -segments, the server skips dataset generation and indexing
+// entirely: it maps the segment files produced by magnet-build and serves
+// read-only from them, with open time independent of corpus size.
 //
 // Operational endpoints: /debug/metrics exposes the obs registry as flat
 // JSON (counters, gauges, histograms over query evaluation, the blackboard
-// analysts, index caches, and facet summarization); -pprof additionally
-// mounts net/http/pprof under /debug/pprof/.
+// analysts, index caches, facet summarization, and startup load times);
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // Usage:
 //
 //	magnet-server [-addr :8080] [-dataset recipes|states|factbook|inbox|courses]
-//	              [-file data.nt] [-recipes N] [-baseline]
+//	              [-file data.nt] [-segments dir] [-recipes N] [-baseline]
 //	              [-log-level info] [-pprof]
 package main
 
@@ -29,14 +33,8 @@ import (
 
 	"magnet/internal/analysts"
 	"magnet/internal/core"
-	"magnet/internal/datasets/artstor"
-	"magnet/internal/datasets/courses"
-	"magnet/internal/datasets/factbook"
-	"magnet/internal/datasets/inbox"
-	"magnet/internal/datasets/recipes"
-	"magnet/internal/datasets/states"
+	"magnet/internal/dataload"
 	"magnet/internal/obs"
-	"magnet/internal/rdf"
 	"magnet/internal/web"
 )
 
@@ -44,6 +42,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataset := flag.String("dataset", "recipes", "built-in dataset: recipes, states, factbook, inbox, courses")
 	file := flag.String("file", "", "serve an N-Triples file instead of a built-in dataset")
+	segments := flag.String("segments", "", "serve a precompiled segment set (directory written by magnet-build) read-only")
 	nRecipes := flag.Int("recipes", 2000, "recipe corpus size")
 	useBaseline := flag.Bool("baseline", false, "use the Flamenco-like baseline advisor set")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -59,16 +58,32 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
-	g, allSubjects, err := load(*dataset, *file, *nRecipes)
-	if err != nil {
-		logger.Error("load failed", "err", err)
-		os.Exit(1)
-	}
-	opts := core.Options{IndexAllSubjects: allSubjects, SoftEmptyResults: true, Parallelism: *parallelism}
+	opts := core.Options{SoftEmptyResults: true, Parallelism: *parallelism}
 	if *useBaseline {
 		opts.Analysts = analysts.BaselineSet
 	}
-	m := core.Open(g, opts)
+
+	var m *core.Magnet
+	shownDataset := *dataset
+	if *segments != "" {
+		var err error
+		m, err = core.OpenSegments(*segments, opts)
+		if err != nil {
+			logger.Error("open segments failed", "dir", *segments, "err", err)
+			os.Exit(1)
+		}
+		shownDataset = m.Segments().Manifest.Dataset
+	} else {
+		spec := dataload.Spec{Dataset: *dataset, File: *file, Recipes: *nRecipes}
+		g, allSubjects, err := dataload.Load(spec)
+		if err != nil {
+			logger.Error("load failed", "err", err)
+			os.Exit(1)
+		}
+		opts.IndexAllSubjects = allSubjects
+		m = core.Open(g, opts)
+	}
+	defer m.Close()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", web.NewServer(m, web.WithLogger(logger)))
@@ -97,7 +112,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr, "dataset", *dataset, "items", len(m.Items()), "pprof", *withPprof)
+	logger.Info("listening", "addr", *addr, "dataset", shownDataset, "items", m.NumItems(), "segments", *segments, "pprof", *withPprof)
 
 	select {
 	case err := <-errc:
@@ -113,40 +128,5 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			logger.Warn("shutdown incomplete", "err", err)
 		}
-	}
-}
-
-func load(dataset, file string, nRecipes int) (*rdf.Graph, bool, error) {
-	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, false, err
-		}
-		defer f.Close()
-		g, err := rdf.ReadNTriples(f)
-		return g, false, err
-	}
-	switch dataset {
-	case "recipes":
-		return recipes.Build(recipes.Config{Recipes: nRecipes}), false, nil
-	case "states":
-		g, err := states.Build()
-		if err != nil {
-			return nil, false, err
-		}
-		states.Annotate(g)
-		return g, true, nil
-	case "factbook":
-		g := factbook.Build(factbook.Config{})
-		factbook.Annotate(g)
-		return g, false, nil
-	case "inbox":
-		return inbox.Build(inbox.Config{}), false, nil
-	case "artstor":
-		return artstor.Build(artstor.Config{HideAccession: true}), false, nil
-	case "courses":
-		return courses.Build(courses.Config{HideCatalogKey: true}), false, nil
-	default:
-		return nil, false, fmt.Errorf("unknown dataset %q", dataset)
 	}
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -160,7 +161,10 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// goFileNames returns the sorted non-test Go file names in dir.
+// goFileNames returns the sorted non-test Go file names in dir that build
+// on the host platform. Per-platform files (//go:build linux, *_windows.go)
+// must be filtered exactly as the compiler would, or packages with syscall
+// shims type-check with duplicate declarations.
 func goFileNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -173,6 +177,9 @@ func goFileNames(dir string) ([]string, error) {
 			continue
 		}
 		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		names = append(names, name)

@@ -6,19 +6,46 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"sync"
+	"time"
 
 	"magnet/internal/advisors"
 	"magnet/internal/analysts"
 	"magnet/internal/blackboard"
 	"magnet/internal/index"
 	"magnet/internal/itemset"
+	"magnet/internal/obs"
 	"magnet/internal/par"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
+	"magnet/internal/segment"
 	"magnet/internal/vsm"
 )
+
+// Startup gauges: how long the last Open/OpenSegments took, total and per
+// component, in nanoseconds. Gauges (not histograms) because startup happens
+// once per process and the current value is the interesting one; visible in
+// /debug/metrics alongside the startup.* trace spans.
+var (
+	startupLoadNS    = obs.NewGauge("startup.load.ns")
+	startupItemsNS   = obs.NewGauge("startup.items.ns")
+	startupTextNS    = obs.NewGauge("startup.text.ns")
+	startupVectorsNS = obs.NewGauge("startup.vectors.ns")
+	startupEngineNS  = obs.NewGauge("startup.engine.ns")
+)
+
+// component times one startup component into both a trace span (when ctx
+// carries a trace) and its gauge.
+func component(ctx context.Context, name string, g *obs.Gauge, f func()) {
+	_, sp := obs.StartSpan(ctx, name)
+	start := time.Now()
+	f()
+	g.Set(time.Since(start).Nanoseconds())
+	sp.End()
+}
 
 // Options configures a Magnet instance.
 type Options struct {
@@ -63,6 +90,15 @@ type Magnet struct {
 	// pool is the instance's one concurrency budget (Options.Parallelism),
 	// shared by every session.
 	pool *par.Pool
+
+	// set is the backing segment set when the instance was opened with
+	// OpenSegments; nil for in-memory instances. readOnly guards the
+	// mutation paths (Reindex, IndexItem, RemoveItem), and itemsOnce defers
+	// materializing the []rdf.IRI item slice — the segment open path must
+	// stay O(1) in the corpus, so items rehydrate on first use.
+	set       *segment.Set
+	readOnly  bool
+	itemsOnce sync.Once
 }
 
 // Open builds a Magnet over the graph: it chooses the item universe,
@@ -70,16 +106,32 @@ type Magnet struct {
 // every item into the vector space model (§5.2's "indexing the data in
 // advance").
 func Open(g *rdf.Graph, opts Options) *Magnet {
+	return OpenContext(context.Background(), g, opts)
+}
+
+// OpenContext is Open with startup tracing: when ctx carries a trace (see
+// obs.StartTrace), each initialization component becomes a startup.* span;
+// the startup.*.ns gauges are set either way.
+func OpenContext(ctx context.Context, g *rdf.Graph, opts Options) *Magnet {
+	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "startup.load")
 	m := &Magnet{
 		g:    g,
 		sch:  schema.NewStore(g),
 		opts: opts,
 		pool: par.New(opts.Parallelism),
 	}
-	m.Reindex()
-	m.eng = query.NewEngine(g, m.sch, m.text, func() []rdf.IRI { return m.items })
-	m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
+	m.reindexContext(ctx)
+	component(ctx, "startup.engine", startupEngineNS, m.buildEngine)
+	sp.End()
+	startupLoadNS.Set(time.Since(start).Nanoseconds())
 	return m
+}
+
+// buildEngine (re)creates the query engine over the current indexes.
+func (m *Magnet) buildEngine() {
+	m.eng = query.NewEngine(m.g, m.sch, m.text, m.itemsSlice)
+	m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
 }
 
 // Reindex recomputes the item universe, the text index and all vectors;
@@ -87,33 +139,51 @@ func Open(g *rdf.Graph, opts Options) *Magnet {
 // query engine, so sessions created *before* the call keep consulting the
 // old ones inside their analysts — create sessions after reindexing. For
 // incremental updates that keep live sessions current, use IndexItem and
-// RemoveItem instead.
+// RemoveItem instead. Panics on a segment-backed (read-only) instance.
 func (m *Magnet) Reindex() {
-	m.items = m.chooseItems()
-	m.text = index.NewTextIndex(m.opts.VSM.Analyzer)
-	for _, it := range m.items {
-		for _, p := range m.g.PredicatesOf(it) {
-			if m.sch.Hidden(p) {
-				continue
-			}
-			for _, o := range m.g.Objects(it, p) {
-				lit, ok := o.(rdf.Literal)
-				if !ok || (lit.Datatype != "" && lit.Datatype != rdf.XSDString) {
+	m.mutable()
+	m.reindexContext(context.Background())
+	if m.eng != nil {
+		// The engine closes over the instance; only the text index pointer
+		// needs refreshing.
+		m.buildEngine()
+	}
+}
+
+// mutable panics when the instance is segment-backed: its indexes are
+// read-only views into mapped files and cannot absorb mutations.
+func (m *Magnet) mutable() {
+	if m.readOnly {
+		panic("core: mutation of read-only segment-backed Magnet (rebuild segments with magnet-build instead)")
+	}
+}
+
+func (m *Magnet) reindexContext(ctx context.Context) {
+	component(ctx, "startup.items", startupItemsNS, func() {
+		m.items = m.chooseItems()
+	})
+	component(ctx, "startup.text", startupTextNS, func() {
+		m.text = index.NewTextIndex(m.opts.VSM.Analyzer)
+		for _, it := range m.items {
+			for _, p := range m.g.PredicatesOf(it) {
+				if m.sch.Hidden(p) {
 					continue
 				}
-				m.text.Index(string(it), string(p), lit.Lexical)
+				for _, o := range m.g.Objects(it, p) {
+					lit, ok := o.(rdf.Literal)
+					if !ok || (lit.Datatype != "" && lit.Datatype != rdf.XSDString) {
+						continue
+					}
+					m.text.Index(string(it), string(p), lit.Lexical)
+				}
 			}
 		}
-	}
-	m.model = vsm.New(m.g, m.sch, m.opts.VSM)
-	m.model.SetPool(m.pool)
-	m.model.IndexAll(m.items)
-	if m.eng != nil {
-		// The engine closes over m.items; only the text index pointer needs
-		// refreshing.
-		m.eng = query.NewEngine(m.g, m.sch, m.text, func() []rdf.IRI { return m.items })
-		m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
-	}
+	})
+	component(ctx, "startup.vectors", startupVectorsNS, func() {
+		m.model = vsm.New(m.g, m.sch, m.opts.VSM)
+		m.model.SetPool(m.pool)
+		m.model.IndexAll(m.items)
+	})
 }
 
 // IndexItem incrementally indexes (or reindexes) a single item without the
@@ -123,6 +193,7 @@ func (m *Magnet) Reindex() {
 // statistics (numeric values beyond the previously observed ranges clamp
 // until the next full Reindex).
 func (m *Magnet) IndexItem(item rdf.IRI) {
+	m.mutable()
 	m.text.Remove(string(item))
 	for _, p := range m.g.PredicatesOf(item) {
 		if m.sch.Hidden(p) {
@@ -150,6 +221,7 @@ func (m *Magnet) IndexItem(item rdf.IRI) {
 // RemoveItem removes an item from every index (the graph's triples are the
 // caller's to remove).
 func (m *Magnet) RemoveItem(item rdf.IRI) {
+	m.mutable()
 	m.text.Remove(string(item))
 	m.model.RemoveItem(item)
 	i := sort.Search(len(m.items), func(i int) bool { return m.items[i] >= item })
@@ -187,9 +259,16 @@ func (m *Magnet) chooseItems() []rdf.IRI {
 // Pool returns the instance's shared worker pool.
 func (m *Magnet) Pool() *par.Pool { return m.pool }
 
-// Close releases the instance's worker pool. Sessions keep working after
-// Close — every parallel seam degrades to its serial path.
-func (m *Magnet) Close() { m.pool.Close() }
+// Close releases the instance's worker pool and, for segment-backed
+// instances, unmaps the segment files. Sessions keep working after Close —
+// every parallel seam degrades to its serial path — but segment-backed
+// indexes must not be consulted after their mappings are gone.
+func (m *Magnet) Close() {
+	m.pool.Close()
+	if m.set != nil {
+		_ = m.set.Close()
+	}
+}
 
 // Graph returns the underlying graph.
 func (m *Magnet) Graph() *rdf.Graph { return m.g }
@@ -206,12 +285,29 @@ func (m *Magnet) Engine() *query.Engine { return m.eng }
 // TextIndex returns the external text index.
 func (m *Magnet) TextIndex() *index.TextIndex { return m.text }
 
+// itemsSlice returns the item universe as IRIs, materializing it on first
+// use for segment-backed instances (the open path only carries the dense-ID
+// posting; rehydrating N IRIs would break the O(1) open budget).
+func (m *Magnet) itemsSlice() []rdf.IRI {
+	if m.set != nil {
+		m.itemsOnce.Do(func() {
+			m.items = m.g.SubjectsFromIDs(m.itemIDs.Slice())
+		})
+	}
+	return m.items
+}
+
 // Items returns the indexed item universe, sorted.
 func (m *Magnet) Items() []rdf.IRI {
-	out := make([]rdf.IRI, len(m.items))
-	copy(out, m.items)
+	items := m.itemsSlice()
+	out := make([]rdf.IRI, len(items))
+	copy(out, items)
 	return out
 }
+
+// NumItems returns the size of the item universe without materializing it
+// (cheap even right after OpenSegments).
+func (m *Magnet) NumItems() int { return m.itemIDs.Len() }
 
 // Label returns the display label for a resource.
 func (m *Magnet) Label(r rdf.IRI) string { return m.g.Label(r) }

@@ -107,6 +107,11 @@ type TextIndex struct {
 	// pre-stemming surface form so suggestions can display "parsley" rather
 	// than the stem "parslei".
 	surfaces map[string]map[string]int
+
+	// seg, when non-nil, makes the index a read-only view over a columnar
+	// segment image: lookups branch to it, the maps above stay nil, and
+	// mutations panic. See segcols.go.
+	seg *segText
 }
 
 // NewTextIndex returns an empty text index using the given analyzer
@@ -128,9 +133,17 @@ func NewTextIndex(a *text.Analyzer) *TextIndex {
 // Analyzer returns the analyzer used to index and to parse queries.
 func (ix *TextIndex) Analyzer() *text.Analyzer { return ix.analyzer }
 
+// mutable panics when the index is a read-only segment view.
+func (ix *TextIndex) mutable() {
+	if ix.seg != nil {
+		panic("index: mutation of read-only segment-backed text index")
+	}
+}
+
 // Index adds the raw text under (docID, field), accumulating with any text
 // already indexed for that pair.
 func (ix *TextIndex) Index(docID, field, raw string) {
+	ix.mutable()
 	tokens := text.Tokenize(raw)
 	counts := make(map[string]int, len(tokens))
 	surf := make(map[string]map[string]int, len(tokens))
@@ -205,6 +218,7 @@ func insertDF(dns []uint32, dn uint32) []uint32 {
 
 // Remove deletes every field of docID from the index.
 func (ix *TextIndex) Remove(docID string) bool {
+	ix.mutable()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	fields, ok := ix.docTerms[docID]
@@ -237,6 +251,9 @@ func (ix *TextIndex) Remove(docID string) bool {
 
 // Len returns the number of indexed documents.
 func (ix *TextIndex) Len() int {
+	if ix.seg != nil {
+		return int(ix.seg.c.Live)
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return len(ix.docTerms)
@@ -249,6 +266,13 @@ func (ix *TextIndex) DocFreq(term string) int {
 	if len(terms) != 1 {
 		return 0
 	}
+	if ix.seg != nil {
+		ti, ok := ix.seg.findTerm(terms[0])
+		if !ok {
+			return 0
+		}
+		return len(ix.seg.dfRow(ti))
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return len(ix.df[terms[0]])
@@ -257,6 +281,12 @@ func (ix *TextIndex) DocFreq(term string) int {
 // Surface returns the most common raw (pre-stemming) token behind an
 // analyzed term, for display; falls back to the term itself when unknown.
 func (ix *TextIndex) Surface(term string) string {
+	if ix.seg != nil {
+		if ti, ok := ix.seg.findTerm(term); ok {
+			return ix.seg.surface(ti)
+		}
+		return term
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	best, bestN := term, 0
@@ -272,6 +302,9 @@ func (ix *TextIndex) Surface(term string) string {
 // the given field. Single-field lookups are zero-copy views; AnyField
 // unions the field postings through a bitmap.
 func (ix *TextIndex) docnumsWithTermLocked(term, field string) itemset.Set {
+	if ix.seg != nil {
+		return ix.seg.docnums(ix, term, field)
+	}
 	if field != AnyField {
 		return ix.fieldPostingLocked(term, field)
 	}
@@ -372,9 +405,16 @@ func (ix *TextIndex) Search(query, field string, k int) []Scored {
 	}
 	ix.mu.RLock()
 	n := float64(len(ix.docTerms))
+	if ix.seg != nil {
+		n = float64(ix.seg.c.Live)
+	}
 	scores := make([]float64, ix.docs.Len())
 	touched := itemset.NewBits(len(scores))
 	for _, t := range terms {
+		if ix.seg != nil {
+			ix.seg.score(t, field, n, scores, touched)
+			continue
+		}
 		df := float64(len(ix.df[t]))
 		if df == 0 {
 			continue
@@ -411,6 +451,18 @@ func (ix *TextIndex) Search(query, field string, k int) []Scored {
 
 // Fields returns the distinct field names indexed for docID, sorted.
 func (ix *TextIndex) Fields(docID string) []string {
+	if ix.seg != nil {
+		dn, ok := ix.docs.Lookup(docID)
+		if !ok {
+			return []string{}
+		}
+		lo, hi := ix.seg.docFieldRun(dn)
+		out := make([]string, 0, hi-lo)
+		for pair := lo; pair < hi; pair++ {
+			out = append(out, ix.seg.fieldName(int(ix.seg.c.DocField[pair])))
+		}
+		return out // ascending field IDs are already lexical order
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	fields := ix.docTerms[docID]
@@ -425,6 +477,28 @@ func (ix *TextIndex) Fields(docID string) []string {
 // FieldTermCounts returns the indexed term counts of (docID, field); the
 // returned map must not be mutated.
 func (ix *TextIndex) FieldTermCounts(docID, field string) map[string]int {
+	if ix.seg != nil {
+		dn, ok := ix.docs.Lookup(docID)
+		if !ok {
+			return nil
+		}
+		fi, ok := ix.seg.findField(field)
+		if !ok {
+			return nil
+		}
+		lo, hi := ix.seg.docFieldRun(dn)
+		for pair := lo; pair < hi; pair++ {
+			if ix.seg.c.DocField[pair] == uint32(fi) {
+				tns, tfs := ix.seg.docTermRow(pair)
+				m := make(map[string]int, len(tns))
+				for i, tn := range tns {
+					m[ix.seg.termName(int(tn))] = int(tfs[i])
+				}
+				return m
+			}
+		}
+		return nil
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.docTerms[docID][field]

@@ -13,7 +13,6 @@ import (
 	"errors"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -116,6 +115,12 @@ type VectorStore struct {
 	// pool chunks similarity/centroid scans across workers; nil scans
 	// serially. Guarded by mu.
 	pool *par.Pool
+
+	// seg, when non-nil, makes the store a read-only view over a columnar
+	// segment image: accessors branch to it, the per-document and per-term
+	// columns above stay nil, and mutations panic. The tf·idf vector cache
+	// still applies — it is grown lazily, off the open path. See segcols.go.
+	seg *segVec
 }
 
 // NewVectorStore returns an empty vector store.
@@ -162,14 +167,22 @@ func (v *VectorStore) termnum(term string) uint32 {
 	for int(t) >= len(v.df) {
 		v.df = append(v.df, 0)
 		v.termGen = append(v.termGen, 0)
-		v.pinned = append(v.pinned, v.PinnedPrefix != "" && strings.HasPrefix(v.terms.Key(uint32(len(v.pinned))), v.PinnedPrefix))
+		v.pinned = append(v.pinned, pinnedFromPrefix(v.PinnedPrefix, v.terms.Key(uint32(len(v.pinned)))))
 	}
 	return t
+}
+
+// mutable panics when the store is a read-only segment view.
+func (v *VectorStore) mutable() {
+	if v.seg != nil {
+		panic("index: mutation of read-only segment-backed vector store")
+	}
 }
 
 // Add stores (or replaces) the raw term-frequency vector for docID.
 // Frequencies must be positive; non-positive entries are dropped.
 func (v *VectorStore) Add(docID string, freqs map[string]float64) {
+	v.mutable()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.gen++
@@ -221,6 +234,7 @@ func (v *VectorStore) Add(docID string, freqs map[string]float64) {
 
 // Remove deletes docID from the store, reporting whether it was present.
 func (v *VectorStore) Remove(docID string) bool {
+	v.mutable()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	dn, ok := v.docs.Lookup(docID)
@@ -253,7 +267,13 @@ func (v *VectorStore) Has(docID string) bool {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	dn, ok := v.docs.Lookup(docID)
-	return ok && v.docTerms[dn] != nil
+	if !ok {
+		return false
+	}
+	if v.seg != nil {
+		return v.seg.liveAt(dn)
+	}
+	return v.docTerms[dn] != nil
 }
 
 // DocFreq returns the number of documents containing term.
@@ -264,7 +284,27 @@ func (v *VectorStore) DocFreq(term string) int {
 	if !ok {
 		return 0
 	}
+	return v.dfLocked(t)
+}
+
+// dfLocked returns the document frequency of termnum t over either backing.
+//
+//magnet:hot
+func (v *VectorStore) dfLocked(t uint32) int {
+	if v.seg != nil {
+		return v.seg.dfAt(t)
+	}
 	return v.df[t]
+}
+
+// pinnedLocked reports termnum t's pinnedness over either backing.
+//
+//magnet:hot
+func (v *VectorStore) pinnedLocked(t uint32) bool {
+	if v.seg != nil {
+		return v.seg.pinnedAt(t)
+	}
+	return v.pinned[t]
 }
 
 // IDF returns the paper's inverse document frequency for term:
@@ -283,7 +323,7 @@ func (v *VectorStore) IDF(term string) float64 {
 
 //magnet:hot
 func (v *VectorStore) idfLocked(t uint32) float64 {
-	df := v.df[t]
+	df := v.dfLocked(t)
 	if df == 0 {
 		return 0
 	}
@@ -319,7 +359,7 @@ func (v *VectorStore) Vector(docID string) map[string]float64 {
 		v.mu.RUnlock()
 		return nil
 	}
-	if vec := v.cache[dn]; vec != nil && v.validLocked(dn) {
+	if vec := v.cachedLocked(dn); vec != nil && v.validLocked(dn) {
 		v.mu.RUnlock()
 		vectorCacheHit.Inc()
 		return vec
@@ -328,6 +368,7 @@ func (v *VectorStore) Vector(docID string) map[string]float64 {
 
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	v.ensureCacheLocked()
 	if vec := v.cache[dn]; vec != nil && v.validLocked(dn) {
 		v.cacheGen[dn] = v.gen // refresh so the next check is O(1)
 		vectorCacheHit.Inc()
@@ -340,17 +381,46 @@ func (v *VectorStore) Vector(docID string) map[string]float64 {
 	return vec
 }
 
-func (v *VectorStore) buildVectorLocked(dn uint32) map[string]float64 {
-	ts := v.docTerms[dn]
-	if ts == nil {
+// cachedLocked bounds-checks the cache lookup: on a segment view the cache
+// columns start empty and grow on first build.
+func (v *VectorStore) cachedLocked(dn uint32) map[string]float64 {
+	if int(dn) >= len(v.cache) {
 		return nil
 	}
-	fs := v.docFreqs[dn]
+	return v.cache[dn]
+}
+
+// ensureCacheLocked grows the cache columns over the full document range.
+// A no-op on the mutable store (docnum grows them per Add); on a segment
+// view this is the one O(docs) allocation, paid on first Vector call
+// rather than at open.
+func (v *VectorStore) ensureCacheLocked() {
+	if n := v.docs.Len(); len(v.cache) < n {
+		v.cache = append(v.cache, make([]map[string]float64, n-len(v.cache))...)
+		v.cacheGen = append(v.cacheGen, make([]uint64, n-len(v.cacheGen))...)
+	}
+}
+
+func (v *VectorStore) buildVectorLocked(dn uint32) map[string]float64 {
+	var ts []uint32
+	var fs []float64
+	if v.seg != nil {
+		if !v.seg.liveAt(dn) {
+			return nil
+		}
+		ts, fs = v.seg.docRow(dn)
+	} else {
+		ts = v.docTerms[dn]
+		if ts == nil {
+			return nil
+		}
+		fs = v.docFreqs[dn]
+	}
 	vec := make(map[string]float64, len(ts))
 	var norm float64
 	for i, t := range ts {
 		var w float64
-		if v.pinned[t] {
+		if v.pinnedLocked(t) {
 			w = fs[i]
 		} else {
 			w = math.Log(fs[i]+1) * v.idfLocked(t)
@@ -467,13 +537,21 @@ func (v *VectorStore) SimilarTo(query map[string]float64, k int, exclude func(st
 	}
 	defer vectorSearchObs.observe(time.Now())
 	// Accumulate via postings so only candidate documents sharing at least
-	// one query term are touched.
+	// one query term are touched. Segment views read their precomputed
+	// posting column; the mutable store rebuilds lazily when stale.
 	v.mu.Lock()
-	post := v.postingsLocked()
-	b := itemset.NewBits(len(v.docTerms))
+	var post [][]uint32
+	if v.seg == nil {
+		post = v.postingsLocked()
+	}
+	b := itemset.NewBits(v.docs.Len())
 	for t := range query {
 		if tn, ok := v.terms.Lookup(t); ok {
-			b.AddSlice(post[tn])
+			if v.seg != nil {
+				b.AddSlice(v.seg.postingFor(tn))
+			} else {
+				b.AddSlice(post[tn])
+			}
 		}
 	}
 	cands := b.Extract()
@@ -564,13 +642,22 @@ func TopTerms(vec map[string]float64, k int, accept func(string) bool) []TermWei
 func (v *VectorStore) IDs() []string {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
+	live := v.liveDocnumsLocked()
+	out := v.docs.AppendKeys(make([]string, 0, len(live)), live)
+	sort.Strings(out)
+	return out
+}
+
+// liveDocnumsLocked returns the sorted live docnums over either backing.
+func (v *VectorStore) liveDocnumsLocked() []uint32 {
+	if v.seg != nil {
+		return v.seg.c.LiveDNS
+	}
 	live := make([]uint32, 0, v.live)
 	for dn, ts := range v.docTerms {
 		if ts != nil {
 			live = append(live, uint32(dn))
 		}
 	}
-	out := v.docs.AppendKeys(make([]string, 0, len(live)), live)
-	sort.Strings(out)
-	return out
+	return live
 }

@@ -46,6 +46,11 @@ type Graph struct {
 
 	size    int
 	version uint64
+
+	// seg, when non-nil, makes the graph a read-only view over a columnar
+	// segment image: read accessors branch to it, the maps above stay nil,
+	// and mutations panic. See segcols.go.
+	seg *segGraph
 }
 
 // NewGraph returns an empty graph.
@@ -65,8 +70,18 @@ func (g *Graph) Len() int {
 	return g.size
 }
 
+// mutable panics when the graph is a read-only segment view. Segment-backed
+// graphs are compiled once by magnet-build; runtime mutation would silently
+// diverge from the on-disk indexes.
+func (g *Graph) mutable() {
+	if g.seg != nil {
+		panic("rdf: mutation of read-only segment-backed graph")
+	}
+}
+
 // Add inserts the triple (s, p, o). It reports whether the triple was new.
 func (g *Graph) Add(s, p IRI, o Term) bool {
+	g.mutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.addLocked(s, p, o)
@@ -74,6 +89,7 @@ func (g *Graph) Add(s, p IRI, o Term) bool {
 
 // AddAll inserts every statement in sts, returning the number newly added.
 func (g *Graph) AddAll(sts []Statement) int {
+	g.mutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	n := 0
@@ -175,6 +191,7 @@ func (g *Graph) Version() uint64 {
 
 // Remove deletes the triple (s, p, o). It reports whether it was present.
 func (g *Graph) Remove(s, p IRI, o Term) bool {
+	g.mutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	ok := o.Key()
@@ -207,6 +224,9 @@ func (g *Graph) Remove(s, p IRI, o Term) bool {
 
 // Has reports whether the triple (s, p, o) is present.
 func (g *Graph) Has(s, p IRI, o Term) bool {
+	if g.seg != nil {
+		return g.seg.has(g, s, p, o)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	_, present := g.spo[s][p][o.Key()]
@@ -215,6 +235,9 @@ func (g *Graph) Has(s, p IRI, o Term) bool {
 
 // HasSubject reports whether any triple has subject s.
 func (g *Graph) HasSubject(s IRI) bool {
+	if g.seg != nil {
+		return g.seg.hasSubject(g, s)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.spo[s]) > 0
@@ -222,6 +245,9 @@ func (g *Graph) HasSubject(s IRI) bool {
 
 // Objects returns all objects of triples (s, p, ·), sorted by key.
 func (g *Graph) Objects(s, p IRI) []Term {
+	if g.seg != nil {
+		return g.seg.objects(g, s, p)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	objs := g.spo[s][p]
@@ -249,6 +275,9 @@ func (g *Graph) Object(s, p IRI) (Term, bool) {
 // ObjectCount returns the number of objects of (s, p, ·) without
 // materializing them (used for per-attribute tf normalization, §5.2).
 func (g *Graph) ObjectCount(s, p IRI) int {
+	if g.seg != nil {
+		return g.seg.objectCount(g, s, p)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.spo[s][p])
@@ -256,9 +285,14 @@ func (g *Graph) ObjectCount(s, p IRI) int {
 
 // Subjects returns all subjects of triples (·, p, o), sorted.
 func (g *Graph) Subjects(p IRI, o Term) []IRI {
-	g.mu.RLock()
-	subs := g.pos[p][o.Key()]
-	g.mu.RUnlock()
+	var subs []uint32
+	if g.seg != nil {
+		subs = g.seg.subjectIDSet(p, o.Key()).Slice()
+	} else {
+		g.mu.RLock()
+		subs = g.pos[p][o.Key()]
+		g.mu.RUnlock()
+	}
 	if len(subs) == 0 {
 		return nil
 	}
@@ -271,6 +305,9 @@ func (g *Graph) Subjects(p IRI, o Term) []IRI {
 // materializing them; this is the document frequency of an attribute/value
 // coordinate (§5.2 tf·idf).
 func (g *Graph) SubjectCount(p IRI, o Term) int {
+	if g.seg != nil {
+		return g.seg.subjectCount(p, o.Key())
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.pos[p][o.Key()])
@@ -278,6 +315,9 @@ func (g *Graph) SubjectCount(p IRI, o Term) int {
 
 // PredicatesOf returns the distinct predicates on subject s, sorted.
 func (g *Graph) PredicatesOf(s IRI) []IRI {
+	if g.seg != nil {
+		return g.seg.predicatesOf(g, s)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	po := g.spo[s]
@@ -294,6 +334,9 @@ func (g *Graph) PredicatesOf(s IRI) []IRI {
 
 // Predicates returns every distinct predicate in the graph, sorted.
 func (g *Graph) Predicates() []IRI {
+	if g.seg != nil {
+		return g.seg.predicates()
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]IRI, 0, len(g.pos))
@@ -306,6 +349,9 @@ func (g *Graph) Predicates() []IRI {
 
 // AllSubjects returns every distinct subject in the graph, sorted.
 func (g *Graph) AllSubjects() []IRI {
+	if g.seg != nil {
+		return g.seg.allSubjects(g)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]IRI, 0, len(g.spo))
@@ -320,6 +366,9 @@ func (g *Graph) AllSubjects() []IRI {
 // sorted by key. This enumerates the value domain of an attribute (used to
 // build facet histograms and range widgets).
 func (g *Graph) ObjectsOf(p IRI) []Term {
+	if g.seg != nil {
+		return g.seg.objectsOf(p)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	os := g.pos[p]
@@ -365,6 +414,9 @@ func (g *Graph) SubjectByID(id uint32) IRI { return g.in.Key(id) }
 //
 //magnet:hot
 func (g *Graph) SubjectIDSet(p IRI, o Term) itemset.Set {
+	if g.seg != nil {
+		return g.seg.subjectIDSet(p, o.Key())
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return itemset.FromSorted(g.pos[p][o.Key()])
@@ -383,6 +435,9 @@ func (g *Graph) AllSubjectIDs() itemset.Set {
 // SubjectIDsWithProperty returns the IDs of subjects carrying any value of
 // predicate p (the property's coverage set), unioned via bitmap.
 func (g *Graph) SubjectIDsWithProperty(p IRI) itemset.Set {
+	if g.seg != nil {
+		return g.seg.subjectIDsWithProperty(g, p)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	os := g.pos[p]
@@ -401,6 +456,10 @@ func (g *Graph) SubjectIDsWithProperty(p IRI) itemset.Set {
 // false. The posting sets are immutable snapshots; f runs without the
 // graph lock held.
 func (g *Graph) ForEachValuePosting(p IRI, f func(o Term, subjects itemset.Set) bool) {
+	if g.seg != nil {
+		g.seg.forEachValuePosting(p, f)
+		return
+	}
 	g.mu.RLock()
 	os := g.pos[p]
 	type valuePosting struct {
@@ -437,6 +496,9 @@ func (g *Graph) SubjectsFromIDs(ids []uint32) []IRI {
 
 // Statements returns every triple with subject s, sorted.
 func (g *Graph) Statements(s IRI) []Statement {
+	if g.seg != nil {
+		return g.seg.statements(g, s)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var out []Statement
@@ -452,6 +514,15 @@ func (g *Graph) Statements(s IRI) []Statement {
 // AllStatements returns every triple in the graph, sorted. Intended for
 // serialization and tests; large graphs should iterate with ForEach.
 func (g *Graph) AllStatements() []Statement {
+	if g.seg != nil {
+		out := make([]Statement, 0, g.size)
+		g.seg.forEach(g, func(st Statement) bool {
+			out = append(out, st)
+			return true
+		})
+		sortStatements(out)
+		return out
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]Statement, 0, g.size)
@@ -469,6 +540,10 @@ func (g *Graph) AllStatements() []Statement {
 // ForEach calls f for every triple until f returns false. Iteration order
 // is unspecified. The graph must not be mutated from within f.
 func (g *Graph) ForEach(f func(Statement) bool) {
+	if g.seg != nil {
+		g.seg.forEach(g, f)
+		return
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	for s, po := range g.spo {

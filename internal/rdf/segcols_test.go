@@ -1,0 +1,158 @@
+package rdf
+
+import (
+	"testing"
+)
+
+// segTestGraph builds a small mixed graph: typed items, literals, shared
+// objects, a removed statement (leaving a dead interner row), and an
+// orphan subject.
+func segTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	add := func(s IRI, p IRI, o Term) {
+		if !g.Add(s, p, o) {
+			t.Fatalf("duplicate add %v %v %v", s, p, o)
+		}
+	}
+	add("urn:a", Type, IRI("urn:Recipe"))
+	add("urn:b", Type, IRI("urn:Recipe"))
+	add("urn:a", "urn:cuisine", NewString("Greek"))
+	add("urn:b", "urn:cuisine", NewString("Italian"))
+	add("urn:a", "urn:ingredient", NewString("Parsley"))
+	add("urn:b", "urn:ingredient", NewString("Parsley"))
+	add("urn:a", "urn:servings", NewInteger(4))
+	add("urn:c", "urn:label", NewString("orphan"))
+	// Remove a statement so an interner row goes dead — the columns must
+	// carry the gap and the rebuilt view must agree.
+	add("urn:dead", "urn:label", NewString("doomed"))
+	g.Remove("urn:dead", "urn:label", NewString("doomed"))
+	return g
+}
+
+// TestGraphColumnsRoundTrip rebuilds the graph from its columns and checks
+// every read API agrees with the original.
+func TestGraphColumnsRoundTrip(t *testing.T) {
+	g := segTestGraph(t)
+	r, err := FromColumns(g.Columns())
+	if err != nil {
+		t.Fatalf("FromColumns: %v", err)
+	}
+
+	if r.Len() != g.Len() {
+		t.Errorf("Len = %d, want %d", r.Len(), g.Len())
+	}
+	wantStmts := g.AllStatements()
+	gotStmts := r.AllStatements()
+	if len(gotStmts) != len(wantStmts) {
+		t.Fatalf("AllStatements: %d statements, want %d", len(gotStmts), len(wantStmts))
+	}
+	for i := range wantStmts {
+		if gotStmts[i].Key() != wantStmts[i].Key() {
+			t.Fatalf("statement %d = %v, want %v", i, gotStmts[i], wantStmts[i])
+		}
+	}
+
+	for _, s := range []IRI{"urn:a", "urn:b", "urn:c", "urn:dead", "urn:missing"} {
+		if got, want := r.HasSubject(s), g.HasSubject(s); got != want {
+			t.Errorf("HasSubject(%s) = %v, want %v", s, got, want)
+		}
+		gotPreds, wantPreds := r.PredicatesOf(s), g.PredicatesOf(s)
+		if len(gotPreds) != len(wantPreds) {
+			t.Errorf("PredicatesOf(%s) = %v, want %v", s, gotPreds, wantPreds)
+			continue
+		}
+		for i := range wantPreds {
+			if gotPreds[i] != wantPreds[i] {
+				t.Errorf("PredicatesOf(%s)[%d] = %v, want %v", s, i, gotPreds[i], wantPreds[i])
+			}
+			gotObjs, wantObjs := r.Objects(s, wantPreds[i]), g.Objects(s, wantPreds[i])
+			if len(gotObjs) != len(wantObjs) {
+				t.Errorf("Objects(%s,%s) = %v, want %v", s, wantPreds[i], gotObjs, wantObjs)
+				continue
+			}
+			for j := range wantObjs {
+				if gotObjs[j].Key() != wantObjs[j].Key() {
+					t.Errorf("Objects(%s,%s)[%d] = %v, want %v", s, wantPreds[i], j, gotObjs[j], wantObjs[j])
+				}
+			}
+			if got, want := r.ObjectCount(s, wantPreds[i]), g.ObjectCount(s, wantPreds[i]); got != want {
+				t.Errorf("ObjectCount(%s,%s) = %d, want %d", s, wantPreds[i], got, want)
+			}
+		}
+	}
+
+	// Reverse index: subjects carrying a property, value enumeration, and
+	// posting iteration.
+	for _, p := range []IRI{Type, "urn:cuisine", "urn:ingredient", "urn:nothing"} {
+		got, want := r.SubjectIDsWithProperty(p), g.SubjectIDsWithProperty(p)
+		if got.Len() != want.Len() {
+			t.Errorf("SubjectIDsWithProperty(%s): %d ids, want %d", p, got.Len(), want.Len())
+		}
+		gotVals, wantVals := r.ObjectsOf(p), g.ObjectsOf(p)
+		if len(gotVals) != len(wantVals) {
+			t.Errorf("ObjectsOf(%s) = %v, want %v", p, gotVals, wantVals)
+			continue
+		}
+		for i := range wantVals {
+			if gotVals[i].Key() != wantVals[i].Key() {
+				t.Errorf("ObjectsOf(%s)[%d] = %v, want %v", p, i, gotVals[i], wantVals[i])
+			}
+			gw, ww := r.SubjectIDSet(p, wantVals[i]), g.SubjectIDSet(p, wantVals[i])
+			if gw.Len() != ww.Len() {
+				t.Errorf("SubjectIDSet(%s,%v): %d ids, want %d", p, wantVals[i], gw.Len(), ww.Len())
+			}
+		}
+	}
+
+	gotSubs, wantSubs := r.AllSubjects(), g.AllSubjects()
+	if len(gotSubs) != len(wantSubs) {
+		t.Fatalf("AllSubjects: %d, want %d", len(gotSubs), len(wantSubs))
+	}
+	for i := range wantSubs {
+		if gotSubs[i] != wantSubs[i] {
+			t.Errorf("AllSubjects[%d] = %v, want %v", i, gotSubs[i], wantSubs[i])
+		}
+	}
+	gotPs, wantPs := r.Predicates(), g.Predicates()
+	if len(gotPs) != len(wantPs) {
+		t.Fatalf("Predicates: %v, want %v", gotPs, wantPs)
+	}
+	for i := range wantPs {
+		if gotPs[i] != wantPs[i] {
+			t.Errorf("Predicates[%d] = %v, want %v", i, gotPs[i], wantPs[i])
+		}
+	}
+
+	if !r.Has("urn:a", "urn:servings", NewInteger(4)) {
+		t.Error("Has(a servings 4) = false")
+	}
+	if r.Has("urn:dead", "urn:label", NewString("doomed")) {
+		t.Error("Has finds the removed statement")
+	}
+}
+
+// TestGraphColumnsReadOnly: mutating a segment-backed graph must panic.
+func TestGraphColumnsReadOnly(t *testing.T) {
+	r, err := FromColumns(segTestGraph(t).Columns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add on a segment-backed graph did not panic")
+		}
+	}()
+	r.Add("urn:new", "urn:p", NewString("v"))
+}
+
+// TestGraphColumnsEmpty: an empty graph round-trips.
+func TestGraphColumnsEmpty(t *testing.T) {
+	r, err := FromColumns(NewGraph().Columns())
+	if err != nil {
+		t.Fatalf("FromColumns(empty): %v", err)
+	}
+	if r.Len() != 0 || len(r.AllSubjects()) != 0 || len(r.AllStatements()) != 0 {
+		t.Errorf("empty graph view not empty: len=%d", r.Len())
+	}
+}

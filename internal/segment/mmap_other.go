@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package segment
+
+import "os"
+
+// mapFile falls back to reading the whole file on platforms without the
+// unix mmap path. Open is then O(bytes) instead of O(1); the format and
+// every accessor behave identically.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

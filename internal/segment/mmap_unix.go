@@ -1,0 +1,31 @@
+//go:build linux || darwin
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned unmap function releases the
+// mapping. Empty files map to an empty (unmapped) slice.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,128 @@
+package segment
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Writer accumulates named typed sections and serializes them as one
+// segment file. Sections are written in Add order, each padded to the
+// format alignment; the JSON table of contents and the fixed header frame
+// them. Writers are single-use.
+type Writer struct {
+	sections []Section
+	payloads [][]byte
+}
+
+// NewWriter returns an empty segment-file writer.
+func NewWriter() *Writer { return &Writer{} }
+
+func (w *Writer) add(name string, kind Kind, payload []byte) {
+	w.sections = append(w.sections, Section{Name: name, Kind: kind, Len: uint64(len(payload)), CRC: Checksum(payload)})
+	w.payloads = append(w.payloads, payload)
+}
+
+// AddBytes adds an opaque byte section.
+func (w *Writer) AddBytes(name string, b []byte) { w.add(name, KindBytes, b) }
+
+// AddU32 adds a []uint32 section (host byte order; the header records it).
+func (w *Writer) AddU32(name string, s []uint32) { w.add(name, KindU32, u32Bytes(s)) }
+
+// AddF64 adds a []float64 section.
+func (w *Writer) AddF64(name string, s []float64) { w.add(name, KindF64, f64Bytes(s)) }
+
+// WriteFile lays the segment out at path (atomically, via a temp file and
+// rename) and returns the file's byte size and whole-file CRC32-C for the
+// manifest.
+func (w *Writer) WriteFile(path string) (size int64, crc uint32, err error) {
+	// Assign aligned offsets.
+	off := uint64(headerSize)
+	off = alignUp(off)
+	for i := range w.sections {
+		w.sections[i].Off = off
+		off = alignUp(off + w.sections[i].Len)
+	}
+	toc, err := json.Marshal(w.sections)
+	if err != nil {
+		return 0, 0, fmt.Errorf("segment: marshal toc: %w", err)
+	}
+	h := header{
+		version: Version,
+		tocOff:  off,
+		tocLen:  uint64(len(toc)),
+		tocCRC:  Checksum(toc),
+	}
+	if hostLittleEndian() {
+		h.flags |= flagLittleEndian
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.Remove(tmp)
+	sum := crcWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	write := func(b []byte) {
+		if err == nil {
+			_, err = sum.Write(b)
+		}
+	}
+	write(putHeader(h))
+	pos := uint64(headerSize)
+	var pad [align]byte
+	for i, s := range w.sections {
+		if s.Off > pos {
+			write(pad[:s.Off-pos])
+			pos = s.Off
+		}
+		write(w.payloads[i])
+		pos += s.Len
+	}
+	if h.tocOff > pos {
+		write(pad[:h.tocOff-pos])
+		pos = h.tocOff
+	}
+	write(toc)
+	pos += uint64(len(toc))
+	if err == nil {
+		err = sum.w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, 0, err
+	}
+	return int64(pos), sum.crc, nil
+}
+
+// crcWriter tees writes into a running whole-file checksum.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(b []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crcTable, b)
+	return c.w.Write(b)
+}
+
+func alignUp(v uint64) uint64 { return (v + align - 1) &^ uint64(align-1) }
+
+// WriteManifest serializes the manifest into dir.
+func WriteManifest(dir string, m Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("segment: marshal manifest: %w", err)
+	}
+	b = append(b, '\n')
+	return os.WriteFile(filepath.Join(dir, ManifestName), b, 0o644)
+}

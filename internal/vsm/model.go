@@ -126,6 +126,34 @@ func New(g *rdf.Graph, sch *schema.Store, opts Options) *Model {
 	}
 }
 
+// FromStore returns a model over an existing vector store — typically a
+// read-only segment view — with precomputed numeric range statistics in
+// place of an IndexAll pass. IndexAll/IndexItem/RemoveItem must not be
+// called when the store is read-only.
+func FromStore(g *rdf.Graph, sch *schema.Store, store *index.VectorStore, ranges map[string]Range, opts Options) *Model {
+	an := opts.Analyzer
+	if an == nil {
+		an = text.DefaultAnalyzer
+	}
+	stats := make(map[string]*Range, len(ranges))
+	for k, r := range ranges {
+		r := r
+		stats[k] = &r
+	}
+	return &Model{g: g, sch: sch, store: store, an: an, opts: opts, stats: stats}
+}
+
+// Ranges returns a copy of the numeric range statistics gathered by the
+// last IndexAll, keyed by PathKey — the build-side export persistent
+// segments serialize and FromStore restores.
+func (m *Model) Ranges() map[string]Range {
+	out := make(map[string]Range, len(m.stats))
+	for k, r := range m.stats {
+		out[k] = *r
+	}
+	return out
+}
+
 // Store exposes the underlying vector store (read-mostly; tests and benches
 // use it directly).
 func (m *Model) Store() *index.VectorStore { return m.store }
