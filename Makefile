@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet magnet-vet vet-budget fuzz race-par bench-json bench-parallel segments segments-check check
+.PHONY: build test race vet magnet-vet vet-budget fuzz race-par obs-check bench-json bench-parallel segments segments-check check
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,14 @@ race-par:
 	$(GO) test -race -run 'Pool|Submit|Batch|Panic|Cancel|Nested|Parallel|Equiv|Determinism|Merge|ByAdvisor|Centroid' \
 		./internal/par/ ./internal/blackboard/ ./internal/facets/ ./internal/index/ ./internal/vsm/
 
+# Observability gate: the flight-recorder and exposition goldens (ring
+# retention, Prometheus text format, /debug/traces JSON) plus the
+# recorder's concurrency tests under the race detector, and the
+# end-to-end slow-step capture through the web layer and the session.
+obs-check:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'FlightRecorder|SlowStep' ./internal/web/ ./internal/core/
+
 # Machine-readable benchmark snapshot: every benchmark with -benchmem,
 # converted to BENCH_<date>.json (see cmd/benchjson) for cross-PR diffing.
 BENCHDATE := $(shell date +%Y-%m-%d)
@@ -101,4 +109,4 @@ segments-check:
 	echo "segments-check: segment-backed render byte-identical"; \
 	rm -rf /tmp/magnet-segcheck /tmp/magnet-segcheck-mem.txt /tmp/magnet-segcheck-seg.txt
 
-check: build vet vet-budget test race race-par fuzz segments-check bench-json
+check: build vet vet-budget test race race-par obs-check fuzz segments-check bench-json

@@ -125,6 +125,13 @@ func main() {
 	flag.StringVar(&segmentsDir, "segments", "", "run against a precompiled segment set (fig1, fig2, fig5, fig6 only)")
 	flag.Parse()
 
+	// Runtime telemetry (runtime.* gauges + GC pause histogram): sampled
+	// once up front and every second for the lifetime of the run, so long
+	// experiments expose heap/goroutine state alongside the pipeline
+	// metrics.
+	stopSampler := obs.StartRuntimeSampler(time.Second)
+	defer stopSampler()
+
 	if *trace {
 		traceExp(*exp, *nRecipes, *seed)
 		return
@@ -211,18 +218,19 @@ func traceExp(exp string, n int, seed int64) {
 	root.End()
 	s.SetContext(nil)
 
+	// Render from the frozen record — the same immutable form the flight
+	// recorder retains and /debug/traces serves — so -trace output and the
+	// server's trace endpoint can never drift apart.
+	rec := obs.Freeze(root)
 	header("trace — one navigation step (" + exp + ")")
-	root.WriteTree(os.Stdout)
-	var staged time.Duration
-	for _, c := range root.Children() {
-		staged += c.Duration()
-	}
+	rec.WriteTree(os.Stdout)
+	staged := rec.StageDurations()
 	cover := 0.0
 	if total > 0 {
 		cover = float64(staged) / float64(total)
 	}
 	fmt.Printf("CHECK trace exp=%s spans=%d total=%s stages=%s coverage=%.2f\n",
-		exp, root.Count(), total.Round(time.Microsecond), staged.Round(time.Microsecond), cover)
+		exp, len(rec.Spans), total.Round(time.Microsecond), staged.Round(time.Microsecond), cover)
 }
 
 // fig1 reproduces Figure 1: the navigation pane after refining to Greek

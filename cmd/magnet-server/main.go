@@ -8,14 +8,19 @@
 //
 // Operational endpoints: /debug/metrics exposes the obs registry as flat
 // JSON (counters, gauges, histograms over query evaluation, the blackboard
-// analysts, index caches, facet summarization, and startup load times);
-// -pprof additionally mounts net/http/pprof under /debug/pprof/.
+// analysts, index caches, facet summarization, runtime telemetry, and
+// startup load times) — ?format=prom switches to the Prometheus text
+// exposition with histogram exemplars; /debug/traces serves the flight
+// recorder (head-sampled recents plus every trace over the slow
+// threshold), with /debug/traces/{id} rendering one captured trace as
+// JSON or (?format=text) a span tree; -pprof additionally mounts
+// net/http/pprof under /debug/pprof/.
 //
 // Usage:
 //
 //	magnet-server [-addr :8080] [-dataset recipes|states|factbook|inbox|courses]
 //	              [-file data.nt] [-segments dir] [-recipes N] [-baseline]
-//	              [-log-level info] [-pprof]
+//	              [-log-level info] [-pprof] [-trace-slow 250ms] [-trace-sample 16]
 package main
 
 import (
@@ -48,7 +53,14 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	parallelism := flag.Int("parallelism", 0, "worker pool size for the navigation pipeline (0 = GOMAXPROCS, 1 = serial)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "flight recorder: tail-sample every trace at least this slow")
+	traceSample := flag.Int("trace-sample", 16, "flight recorder: head-sample 1 in N completed traces (1 = all)")
 	flag.Parse()
+
+	obs.Records.SetSlowThreshold(*traceSlow)
+	obs.Records.SetSampleEvery(*traceSample)
+	stopSampler := obs.StartRuntimeSampler(10 * time.Second)
+	defer stopSampler()
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -88,6 +100,8 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", web.NewServer(m, web.WithLogger(logger)))
 	mux.Handle("/debug/metrics", obs.Default.Handler())
+	mux.Handle("/debug/traces", obs.Records.Handler())
+	mux.Handle("/debug/traces/", obs.Records.Handler())
 	if *withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

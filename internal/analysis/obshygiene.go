@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // obsBanned lists the fmt and log package functions internal code must not
@@ -29,41 +30,80 @@ var obsBanned = map[string]map[string]bool{
 	},
 }
 
-// ObsHygiene bans fmt.Print* and the legacy log package in scoped code:
-// internal packages log through log/slog or record through internal/obs,
-// never straight to stdout. Commands (cmd/...) stay free to print — they
-// own their stdout.
+// isObsPkg reports whether path is the observability package — the real
+// module's or a fixture module's copy of it.
+func isObsPkg(path string) bool {
+	return path == "magnet/internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+// ObsHygiene enforces the observability layer's usage discipline in scoped
+// code. Two rules:
+//
+//  1. No fmt.Print* or legacy log package: internal packages log through
+//     log/slog or record through internal/obs, never straight to stdout.
+//     Commands (cmd/...) stay free to print — they own their stdout.
+//  2. No obs.New* inside function bodies: the registry constructors take a
+//     mutex and a map lookup, so an instrument created per call turns a
+//     hot path into a lock convoy. Instruments belong in package-level
+//     vars (including the FuncLit-initializer idiom, which runs once at
+//     init and stays legal). Genuinely dynamic instrument names carry a
+//     magnet-vet:ignore directive.
 func ObsHygiene(scope ...string) *Analyzer {
 	a := &Analyzer{
 		Name:  "obshygiene",
-		Doc:   "internal packages must use log/slog or internal/obs, not fmt.Print*/log.Print*",
+		Doc:   "internal packages must use log/slog or internal/obs, not fmt.Print*/log.Print*; obs instruments are package-level vars",
 		Scope: scope,
 	}
 	a.Run = func(pass *Pass) {
+		// pkgNameOf resolves a call of the form pkg.Fn(...) to the imported
+		// package path ("" when the callee is not a package selector).
+		pkgNameOf := func(call *ast.CallExpr) (string, string) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return "", ""
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return "", ""
+			}
+			pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return "", ""
+			}
+			return pkgName.Imported().Path(), sel.Sel.Name
+		}
 		for _, f := range pass.Files() {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok {
-					return true
-				}
-				pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
-				if !ok {
-					return true
-				}
-				path := pkgName.Imported().Path()
-				if obsBanned[path][sel.Sel.Name] {
-					pass.Reportf(call.Pos(), "%s.%s writes outside the observability layer; use log/slog (or internal/obs)", path, sel.Sel.Name)
+				path, fn := pkgNameOf(call)
+				if obsBanned[path][fn] {
+					pass.Reportf(call.Pos(), "%s.%s writes outside the observability layer; use log/slog (or internal/obs)", path, fn)
 				}
 				return true
 			})
+			// Rule 2 walks function declarations only: package-level var
+			// initializers (plain or via an immediately-invoked FuncLit) run
+			// once at init time and are exactly where instruments belong.
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					path, fn := pkgNameOf(call)
+					if isObsPkg(path) && strings.HasPrefix(fn, "New") {
+						pass.Reportf(call.Pos(), "obs.%s inside a function body pays a registry lock per call; hoist the instrument to a package-level var", fn)
+					}
+					return true
+				})
+			}
 		}
 	}
 	return a

@@ -1,0 +1,3 @@
+module magnet
+
+go 1.21

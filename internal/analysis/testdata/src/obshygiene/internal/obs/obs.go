@@ -1,0 +1,29 @@
+// Package obs is a minimal stand-in for magnet/internal/obs: just enough
+// surface for the obshygiene fixture to type-check its module-local
+// imports. The analyzer matches on the import path, so the fixture module
+// is named magnet and this package sits at internal/obs.
+package obs
+
+// Counter mimics the real atomic counter.
+type Counter struct{ v uint64 }
+
+// Inc mimics the real hot-path increment.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge mimics the real atomic gauge.
+type Gauge struct{ v int64 }
+
+// Histogram mimics the real exponential histogram.
+type Histogram struct{ n uint64 }
+
+// Observe mimics the real hot-path record.
+func (h *Histogram) Observe(v int64) { h.n++ }
+
+// NewCounter mimics the registry get-or-create constructor.
+func NewCounter(name string) *Counter { return &Counter{} }
+
+// NewGauge mimics the registry get-or-create constructor.
+func NewGauge(name string) *Gauge { return &Gauge{} }
+
+// NewHistogram mimics the registry get-or-create constructor.
+func NewHistogram(name string) *Histogram { return &Histogram{} }

@@ -7,6 +7,8 @@ import (
 	stdlog "log"
 	"log/slog"
 	"os"
+
+	"magnet/internal/obs"
 )
 
 func bad() {
@@ -33,4 +35,40 @@ func (logger) Println(v ...any) {}
 func shadowed() {
 	var log logger
 	log.Println("local method")
+}
+
+// Instrument placement (rule 2): registry constructors are legal only in
+// package-level var initializers.
+
+func instrumentsInFunction() {
+	c := obs.NewCounter("fixture.count") // want "obs.NewCounter inside a function body"
+	h := obs.NewHistogram("fixture.ns")  // want "obs.NewHistogram inside a function body"
+	g := obs.NewGauge("fixture.depth")   // want "obs.NewGauge inside a function body"
+	c.Inc()
+	h.Observe(1)
+	_ = g
+}
+
+// Package-level instruments are the sanctioned form...
+var fixtureCount = obs.NewCounter("fixture.ok.count")
+
+// ...including the immediately-invoked FuncLit initializer idiom (runs once
+// at init; must not be flagged).
+var fixtureByKind = func() map[string]*obs.Counter {
+	m := make(map[string]*obs.Counter, 2)
+	for _, k := range []string{"a", "b"} {
+		m[k] = obs.NewCounter("fixture.kind." + k)
+	}
+	return m
+}()
+
+// Genuinely dynamic instrument names carry an ignore directive.
+func dynamicInstrument(name string) *obs.Counter {
+	return obs.NewCounter("fixture.dyn." + name) //magnet-vet:ignore obshygiene // dynamic name, cannot hoist
+}
+
+func useInstruments() {
+	fixtureCount.Inc()
+	fixtureByKind["a"].Inc()
+	dynamicInstrument("x").Inc()
 }

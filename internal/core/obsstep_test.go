@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"magnet/internal/obs"
+)
+
+// TestSlowStepRecordedWithoutMiddleware pins the always-on capture path: a
+// navigation step run outside any web request (no ambient trace on the
+// session) owns its own trace root and hands it to the flight recorder, so
+// a slow step is tail-sampled even from magnet-eval, the CLI, or tests —
+// with the step-latency histogram carrying the same trace ID as exemplar.
+func TestSlowStepRecordedWithoutMiddleware(t *testing.T) {
+	old := obs.Records.SlowThreshold()
+	obs.Records.SetSlowThreshold(time.Nanosecond) // every step is "slow"
+	t.Cleanup(func() { obs.Records.SetSlowThreshold(old) })
+
+	m := openCorpus(t, 100)
+	defer m.Close()
+	s := m.NewSession() // runs the initial session.query step
+
+	slow := obs.Records.Traces(obs.TraceFilter{SlowOnly: true, Name: "session.query"})
+	if len(slow) == 0 {
+		t.Fatal("slow session.query step not tail-sampled by the flight recorder")
+	}
+	tr := slow[0] // newest first: the step this test just ran
+	if !tr.Slow || tr.ID == "" || tr.Spans[0].Depth != 0 {
+		t.Fatalf("retained step trace = %+v", tr)
+	}
+
+	// The step-latency histogram's exemplar joins on the same trace ID.
+	found := false
+	for _, e := range obs.Default.Histogram("session.query.ns").Snapshot().Exemplars {
+		if e.TraceID == tr.ID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("trace %s has no matching exemplar on session.query.ns", tr.ID)
+	}
+
+	// An overview step captures its pipeline children under its own root.
+	s.Overview(4)
+	ov := obs.Records.Traces(obs.TraceFilter{SlowOnly: true, Name: "session.overview"})
+	if len(ov) == 0 {
+		t.Fatal("session.overview step not recorded")
+	}
+	if got := obs.Records.Get(ov[0].ID); got == nil || got.Name != "session.overview" {
+		t.Errorf("Get(%s) = %v, want the overview trace", ov[0].ID, got)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
+	"log/slog"
 
 	"magnet/internal/advisors"
 	"magnet/internal/analysts"
@@ -26,6 +26,44 @@ var (
 	stepOverviewCount = obs.NewCounter("session.overview.count")
 	stepOverviewNS    = obs.NewHistogram("session.overview.ns")
 )
+
+// stepTimer times one navigation step for the flight recorder. Every step
+// runs under a trace: as a child span when the ambient context already
+// carries one (a web request), otherwise as its own root — which the
+// timer hands to obs.Records at the end, so steps are captured even when
+// no HTTP middleware owns the trace (magnet-eval, the CLI, tests).
+type stepTimer struct {
+	ctx  context.Context
+	sp   *obs.Span
+	root bool
+	name string
+}
+
+// startStep begins a navigation step under the session's ambient context.
+func (s *Session) startStep(name string) (context.Context, *stepTimer) {
+	ctx, sp, root := obs.StartAlways(s.ctx, name)
+	return ctx, &stepTimer{ctx: ctx, sp: sp, root: root, name: name}
+}
+
+// finish ends the step's span, records the per-step metrics with the
+// trace ID as the histogram exemplar, feeds owned roots to the flight
+// recorder, and warns (with the joining trace ID) when the step blew the
+// slow threshold — every refinement is supposed to feel instant.
+func (st *stepTimer) finish(count *obs.Counter, ns *obs.Histogram) {
+	st.sp.End()
+	dur := st.sp.Duration()
+	count.Inc()
+	ns.ObserveExemplar(int64(dur), obs.TraceID(st.ctx))
+	if st.root {
+		obs.Records.Record(st.sp)
+	}
+	if dur >= obs.Records.SlowThreshold() {
+		slog.Warn("slow navigation step",
+			"step", st.name,
+			"dur", dur,
+			"trace", obs.TraceID(st.ctx))
+	}
+}
 
 // Session is one user's navigation session: the current view, the history
 // tracker, and the analyst registry producing the navigation pane. Sessions
@@ -124,15 +162,12 @@ func (s *Session) goTo(v blackboard.View) {
 }
 
 func (s *Session) goToQuery(q query.Query) {
-	ctx, sp := obs.StartSpan(s.ctx, "session.query")
-	start := time.Now()
+	ctx, st := s.startStep("session.query")
 	items := s.m.eng.EvalContext(ctx, q).Items()
 	s.tracker.PushQuery(q)
 	s.goTo(blackboard.CollectionView(q, items))
-	stepQueryCount.Inc()
-	stepQueryNS.ObserveSince(start)
-	sp.SetInt("items", len(items))
-	sp.End()
+	st.sp.SetInt("items", len(items))
+	st.finish(stepQueryCount, stepQueryNS)
 }
 
 // Search starts a fresh keyword query (the toolbar of §3.1: "a search may
@@ -278,33 +313,27 @@ func (s *Session) Board() *blackboard.Board {
 // Pane runs the analysts and assembles the navigation pane for the current
 // view (the left side of Figure 1).
 func (s *Session) Pane() advisors.Pane {
-	ctx, sp := obs.StartSpan(s.ctx, "session.pane")
-	start := time.Now()
+	ctx, st := s.startStep("session.pane")
 	board := s.registry.RunContext(ctx, s.current)
 	_, bsp := obs.StartSpan(ctx, "advisors.build")
 	pane := advisors.Build(s.current.Query, s.m.Labeler(), board, s.cfgs)
 	bsp.End()
-	stepPaneCount.Inc()
-	stepPaneNS.ObserveSince(start)
-	sp.SetInt("suggestions", board.Len())
-	sp.End()
+	st.sp.SetInt("suggestions", board.Len())
+	st.finish(stepPaneCount, stepPaneNS)
 	return pane
 }
 
 // Overview computes the large-collection facet overview (Figure 2): value
 // histograms per property, ordered by usefulness, values by count.
 func (s *Session) Overview(maxValues int) []facets.Facet {
-	ctx, sp := obs.StartSpan(s.ctx, "session.overview")
-	start := time.Now()
+	ctx, st := s.startStep("session.overview")
 	items := s.Items()
 	fs := facets.SummarizeContext(ctx, s.m.g, s.m.sch, items, facets.Options{
 		MaxValues: maxValues,
 		ByCount:   true,
 		Pool:      s.m.pool,
 	})
-	stepOverviewCount.Inc()
-	stepOverviewNS.ObserveSince(start)
-	sp.SetInt("facets", len(fs))
-	sp.End()
+	st.sp.SetInt("facets", len(fs))
+	st.finish(stepOverviewCount, stepOverviewNS)
 	return fs
 }

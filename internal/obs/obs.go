@@ -19,6 +19,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -83,6 +84,18 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Int64
 	buckets [HistBuckets]atomic.Uint64
+	// exemplars[i] remembers the most recent traced observation that
+	// landed in bucket i, so a p99 bucket on /debug/metrics links straight
+	// to a captured trace in the flight recorder. Written only by
+	// ObserveExemplar (one small allocation per traced observation);
+	// plain Observe never touches it.
+	exemplars [HistBuckets]atomic.Pointer[exemplar]
+}
+
+// exemplar is the stored form of a bucket's trace link.
+type exemplar struct {
+	traceID string
+	v       int64
 }
 
 // Observe records v (negative values clamp to zero).
@@ -111,6 +124,30 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(int64(time.Since(start)))
 }
 
+// ObserveExemplar records v and, when traceID is non-empty, remembers it
+// as the bucket's exemplar — the trace that explains this bucket's most
+// recent observation. One small allocation per traced observation; with
+// an empty traceID it is exactly Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.exemplars[i].Store(&exemplar{traceID: traceID, v: v})
+}
+
+// ObserveSinceExemplar is ObserveSince with an exemplar trace ID.
+func (h *Histogram) ObserveSinceExemplar(start time.Time, traceID string) {
+	h.ObserveExemplar(int64(time.Since(start)), traceID)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -124,11 +161,22 @@ type HistBucket struct {
 	Count uint64 `json:"n"`
 }
 
+// Exemplar links a snapshot bucket (by its Le bound) to the most recent
+// trace whose observation landed there.
+type Exemplar struct {
+	Le      uint64 `json:"le"`
+	Value   int64  `json:"v"`
+	TraceID string `json:"trace"`
+}
+
 // HistSnapshot is the exported state of a Histogram.
 type HistSnapshot struct {
 	Count   uint64       `json:"count"`
 	Sum     int64        `json:"sum"`
 	Buckets []HistBucket `json:"buckets"`
+	// Exemplars carries the per-bucket trace links, present only for
+	// buckets that received a traced observation.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot returns the histogram's current state; only non-empty buckets
@@ -142,8 +190,44 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		}
 		le := uint64(1)<<uint(i) - 1 // bucket i holds v with bits.Len64(v)==i
 		s.Buckets = append(s.Buckets, HistBucket{Le: le, Count: n})
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, Exemplar{Le: le, Value: e.v, TraceID: e.traceID})
+		}
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank. With base-2 buckets the estimate is exact at bucket
+// boundaries and off by at most one bucket's width inside — good enough
+// to steer a slow-step threshold or report p50/p99 in a load harness.
+// Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	lower := float64(0)
+	for _, b := range s.Buckets {
+		if float64(cum+b.Count) >= rank {
+			frac := (rank - float64(cum)) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			}
+			return int64(lower + (float64(b.Le)-lower)*frac)
+		}
+		cum += b.Count
+		lower = float64(b.Le)
+	}
+	return int64(s.Buckets[len(s.Buckets)-1].Le)
 }
 
 // Registry is a named-metric namespace. Metric constructors are
@@ -266,13 +350,49 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// Handler serves the registry as JSON — mount it at /debug/metrics.
+// metricsWriteErrors counts snapshot serialization failures behind the
+// /debug/metrics and /debug/traces handlers. Package-level so the error
+// path never pays a registry lookup.
+var metricsWriteErrors = NewCounter("obs.metrics.write_errors")
+
+// writeBufferedJSON marshals v fully before touching the ResponseWriter,
+// so a marshal failure becomes a clean 500 instead of truncated JSON with
+// a 200 status already on the wire.
+func writeBufferedJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		metricsWriteErrors.Inc()
+		http.Error(w, "marshal failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body)
+}
+
+// Handler serves the registry — mount it at /debug/metrics. The default
+// is the flat sorted JSON object WriteJSON documents; ?format=prom
+// switches to the Prometheus text exposition (WritePrometheus). Either
+// way the snapshot is rendered into a buffer first, so a serialization
+// failure returns a proper 500 instead of a truncated 200.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := r.WriteJSON(w); err != nil {
-			// Headers are gone; nothing recoverable to do but note it.
-			NewCounter("obs.metrics.write_errors").Inc()
+		var buf bytes.Buffer
+		if req.URL.Query().Get("format") == "prom" {
+			if err := r.WritePrometheus(&buf); err != nil {
+				metricsWriteErrors.Inc()
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			buf.WriteTo(w)
+			return
 		}
+		if err := r.WriteJSON(&buf); err != nil {
+			metricsWriteErrors.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		buf.WriteTo(w)
 	})
 }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName converts a dotted metric name to the Prometheus identifier
+// charset: dots (and anything else outside [a-zA-Z0-9_:]) become
+// underscores ("session.query.ns" → "session_query_ns").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (the /debug/metrics?format=prom shape): counters and gauges as
+// single samples, histograms as cumulative _bucket series with `le`
+// labels plus _sum and _count. Buckets that carry an exemplar are
+// annotated OpenMetrics-style (`# {trace_id="..."} value`), linking the
+// bucket to a trace retained by the flight recorder. Metrics are emitted
+// in sorted (original dotted) name order so output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type namedCounter struct {
+		name string
+		c    *Counter
+	}
+	type namedGauge struct {
+		name string
+		g    *Gauge
+	}
+	type namedHist struct {
+		name string
+		h    *Histogram
+	}
+	counters := make([]namedCounter, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, namedCounter{name, c})
+	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, namedGauge{name, g})
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, namedHist{name, h})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, nc := range counters {
+		pn := promName(nc.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, nc.c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, ng := range gauges {
+		pn := promName(ng.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, ng.g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, nh := range hists {
+		if err := writePromHistogram(w, promName(nh.name), nh.h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, s HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	exemplarFor := func(le uint64) (Exemplar, bool) {
+		for _, e := range s.Exemplars {
+			if e.Le == le {
+				return e, true
+			}
+		}
+		return Exemplar{}, false
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		line := fmt.Sprintf("%s_bucket{le=\"%d\"} %d", pn, b.Le, cum)
+		if e, ok := exemplarFor(b.Le); ok {
+			line += fmt.Sprintf(" # {trace_id=\"%s\"} %d", e.TraceID, e.Value)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		pn, s.Count, pn, s.Sum, pn, s.Count)
+	return err
+}

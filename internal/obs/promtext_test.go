@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"session.query.ns":       "session_query_ns",
+		"web.request.status.2xx": "web_request_status_2xx",
+		"a_b:c":                  "a_b:c",
+		"9lives":                 "_lives", // leading digit is not a valid start
+		"héllo":                  "h_llo",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exact ?format=prom exposition:
+// TYPE lines, cumulative buckets with le labels, exemplar annotations,
+// _sum and _count, all in sorted dotted-name order.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(2)
+	r.Gauge("b.gauge").Set(-3)
+	h := r.Histogram("c.ns")
+	h.Observe(1)
+	h.ObserveExemplar(2, "req-7")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_count counter
+a_count 2
+# TYPE b_gauge gauge
+b_gauge -3
+# TYPE c_ns histogram
+c_ns_bucket{le="1"} 1
+c_ns_bucket{le="3"} 2 # {trace_id="req-7"} 2
+c_ns_bucket{le="+Inf"} 2
+c_ns_sum 3
+c_ns_count 2
+`
+	if sb.String() != want {
+		t.Errorf("WritePrometheus =\n%s\nwant\n%s", sb.String(), want)
+	}
+}
+
+func TestHandlerPromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.count").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics?format=prom", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "x_count 1") {
+		t.Errorf("body missing x_count:\n%s", body)
+	}
+}
+
+// TestSnapshotExemplars: only buckets that received a traced observation
+// carry exemplars, and the JSON shape without exemplars is unchanged.
+func TestSnapshotExemplars(t *testing.T) {
+	var h Histogram
+	h.Observe(1) // bucket le=1, no exemplar
+	h.ObserveExemplar(5, "t-1")
+	h.ObserveExemplar(6, "t-2") // same bucket (le=7): latest wins
+	h.ObserveExemplar(100, "")  // empty trace ID: plain Observe
+
+	s := h.Snapshot()
+	if len(s.Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v, want one (le=7)", s.Exemplars)
+	}
+	e := s.Exemplars[0]
+	if e.Le != 7 || e.Value != 6 || e.TraceID != "t-2" {
+		t.Errorf("exemplar = %+v, want le=7 v=6 trace=t-2", e)
+	}
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+
+	// Uniform 1..1024: base-2 buckets make p50 land almost exactly at the
+	// true median; the estimate must stay within one bucket's width.
+	var h Histogram
+	for v := int64(1); v <= 1024; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 448 || p50 > 576 {
+		t.Errorf("p50 = %d, want ~512 (within the le=1023 bucket walk)", p50)
+	}
+	if p0 := s.Quantile(0); p0 != 0 {
+		t.Errorf("p0 = %d, want 0", p0)
+	}
+	// q=1 resolves to the last bucket's upper bound (1024 lives in le=2047).
+	if p100 := s.Quantile(1); p100 != 2047 {
+		t.Errorf("p100 = %d, want the le=2047 bound", p100)
+	}
+	// Out-of-range q clamps rather than panics.
+	if s.Quantile(-1) != 0 || s.Quantile(2) != 2047 {
+		t.Error("q outside [0,1] did not clamp")
+	}
+
+	// Monotonic in q.
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile not monotone: q=%v gave %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+
+	// Point mass: every observation is 7 (bucket le=7, lower bound 3).
+	var pm Histogram
+	for i := 0; i < 100; i++ {
+		pm.Observe(7)
+	}
+	if got := pm.Snapshot().Quantile(1); got != 7 {
+		t.Errorf("point-mass p100 = %d, want 7", got)
+	}
+}

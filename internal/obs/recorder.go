@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Flight-recorder accounting: every completed root is counted, and the
+// retention decision (kept in a ring vs dropped by head sampling) is
+// visible on /debug/metrics next to the rings it feeds.
+var (
+	traceSeen    = NewCounter("obs.trace.seen")
+	traceSampled = NewCounter("obs.trace.sampled")
+	traceSlow    = NewCounter("obs.trace.slow")
+	traceDropped = NewCounter("obs.trace.dropped")
+)
+
+// ring is a fixed-size lock-free buffer of frozen traces: an atomic
+// cursor claims slots, each slot is an atomic pointer swap. Writers never
+// block; a reader may see a slot mid-overwrite as either the old or the
+// new record, both immutable.
+type ring struct {
+	slots []atomic.Pointer[TraceRecord]
+	next  atomic.Uint64
+}
+
+func newRing(size int) ring {
+	return ring{slots: make([]atomic.Pointer[TraceRecord], size)}
+}
+
+func (r *ring) add(t *TraceRecord) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// snapshot appends the ring's live records to dst, newest first.
+func (r *ring) snapshot(dst []*TraceRecord) []*TraceRecord {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	count := n
+	if count > size {
+		count = size
+	}
+	for k := uint64(0); k < count; k++ {
+		// Walk backwards from the most recently claimed slot.
+		if t := r.slots[(n-1-k)%size].Load(); t != nil {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// RecorderOptions sizes a Recorder. Zero values take the defaults noted
+// per field.
+type RecorderOptions struct {
+	// RecentSize is the head-sampled ring's capacity (default 256).
+	RecentSize int
+	// SlowSize is the tail-sampled slow ring's capacity (default 64). Slow
+	// traces live in their own ring so a flood of fast requests cannot
+	// evict the captures that explain a latency spike.
+	SlowSize int
+	// SampleEvery keeps 1 in N completed traces in the recent ring
+	// (default 16; 1 keeps everything).
+	SampleEvery int
+	// SlowThreshold tail-samples every trace at least this long
+	// (default 250ms).
+	SlowThreshold time.Duration
+}
+
+// Recorder is the flight recorder: completed trace roots are frozen into
+// immutable TraceRecords and retained in two fixed-size rings — 1-in-N
+// head-sampled recents, plus every trace slower than the threshold in a
+// separate slow ring. Record is lock-light (atomic sampling decision, then
+// freeze + atomic slot swap, all after the request has finished); readers
+// snapshot without blocking writers.
+type Recorder struct {
+	recent      ring
+	slow        ring
+	seq         atomic.Uint64
+	sampleEvery atomic.Uint64
+	slowNS      atomic.Int64
+}
+
+// NewRecorder returns a recorder with the given retention policy.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	if opts.RecentSize <= 0 {
+		opts.RecentSize = 256
+	}
+	if opts.SlowSize <= 0 {
+		opts.SlowSize = 64
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 16
+	}
+	if opts.SlowThreshold <= 0 {
+		opts.SlowThreshold = 250 * time.Millisecond
+	}
+	rc := &Recorder{
+		recent: newRing(opts.RecentSize),
+		slow:   newRing(opts.SlowSize),
+	}
+	rc.sampleEvery.Store(uint64(opts.SampleEvery))
+	rc.slowNS.Store(int64(opts.SlowThreshold))
+	return rc
+}
+
+// Records is the process-wide flight recorder /debug/traces serves and
+// the session layer feeds.
+var Records = NewRecorder(RecorderOptions{})
+
+// SlowThreshold returns the tail-sampling threshold.
+func (rc *Recorder) SlowThreshold() time.Duration {
+	return time.Duration(rc.slowNS.Load())
+}
+
+// SetSlowThreshold changes the tail-sampling threshold (values <= 0 keep
+// every trace in the slow ring).
+func (rc *Recorder) SetSlowThreshold(d time.Duration) {
+	rc.slowNS.Store(int64(d))
+}
+
+// SetSampleEvery changes head sampling to 1-in-n (n <= 1 keeps every
+// trace in the recent ring).
+func (rc *Recorder) SetSampleEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	rc.sampleEvery.Store(uint64(n))
+}
+
+// Record hands a completed trace root to the recorder. Non-root or
+// un-ended spans are ignored. The slow decision is made against the
+// threshold at call time; slow traces always survive, recents keep 1-in-N.
+func (rc *Recorder) Record(root *Span) {
+	if rc == nil || !root.IsRoot() || root.Duration() == 0 {
+		return
+	}
+	traceSeen.Inc()
+	n := rc.seq.Add(1)
+	slow := root.Duration() >= rc.SlowThreshold()
+	every := rc.sampleEvery.Load()
+	sampled := every <= 1 || n%every == 1
+	if !slow && !sampled {
+		traceDropped.Inc()
+		return
+	}
+	rec := Freeze(root)
+	rec.Slow = slow
+	if slow {
+		traceSlow.Inc()
+		rc.slow.add(rec)
+	} else {
+		traceSampled.Inc()
+		rc.recent.add(rec)
+	}
+}
+
+// Get returns the retained trace with the given ID (nil if evicted or
+// never kept). The slow ring is searched first.
+func (rc *Recorder) Get(id string) *TraceRecord {
+	for _, t := range rc.Traces(TraceFilter{}) {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// TraceFilter selects retained traces: zero value means everything.
+type TraceFilter struct {
+	// SlowOnly restricts to the tail-sampled slow ring.
+	SlowOnly bool
+	// Name keeps only traces with this root span name.
+	Name string
+}
+
+// Traces snapshots the retained records matching f, newest first (slow
+// and recent rings merged by start time).
+func (rc *Recorder) Traces(f TraceFilter) []*TraceRecord {
+	var out []*TraceRecord
+	out = rc.slow.snapshot(out)
+	if !f.SlowOnly {
+		out = rc.recent.snapshot(out)
+	}
+	if f.Name != "" {
+		kept := out[:0]
+		for _, t := range out {
+			if t.Name == f.Name {
+				kept = append(kept, t)
+			}
+		}
+		out = kept
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// traceSummary is the list-endpoint shape: enough to pick a trace without
+// shipping every span.
+type traceSummary struct {
+	ID    string        `json:"id"`
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+	Slow  bool          `json:"slow"`
+	Spans int           `json:"spans"`
+}
+
+// Handler serves the recorder: mount it at /debug/traces (and
+// /debug/traces/ for the per-trace pages).
+//
+//	GET /debug/traces            JSON list of retained traces, newest first
+//	    ?slow=1                  slow ring only
+//	    ?name=web.request        filter by root span name
+//	GET /debug/traces/{id}       one trace: full span JSON
+//	    ?format=text             the WriteTree rendering instead
+func (rc *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		const prefix = "/debug/traces"
+		rest := strings.TrimPrefix(req.URL.Path, prefix)
+		rest = strings.Trim(rest, "/")
+		if rest == "" {
+			rc.serveList(w, req)
+			return
+		}
+		rc.serveTrace(w, req, rest)
+	})
+}
+
+func (rc *Recorder) serveList(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	traces := rc.Traces(TraceFilter{
+		SlowOnly: q.Get("slow") == "1",
+		Name:     q.Get("name"),
+	})
+	summaries := make([]traceSummary, len(traces))
+	for i, t := range traces {
+		summaries[i] = traceSummary{
+			ID: t.ID, Name: t.Name, Start: t.Start, Dur: t.Dur,
+			Slow: t.Slow, Spans: len(t.Spans),
+		}
+	}
+	writeBufferedJSON(w, map[string]any{"traces": summaries})
+}
+
+func (rc *Recorder) serveTrace(w http.ResponseWriter, req *http.Request, id string) {
+	t := rc.Get(id)
+	if t == nil {
+		http.Error(w, "trace not retained (evicted, sampled out, or never seen)", http.StatusNotFound)
+		return
+	}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		t.WriteTree(w)
+		return
+	}
+	writeBufferedJSON(w, t)
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// endedTrace fabricates a completed trace root with a fixed duration —
+// tests need deterministic slow/fast decisions, which real End() timing
+// cannot give.
+func endedTrace(name string, dur time.Duration) *Span {
+	_, sp := StartTrace(context.Background(), name)
+	sp.dur = dur
+	return sp
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := newRing(4)
+	for i := 1; i <= 10; i++ {
+		r.add(&TraceRecord{ID: fmt.Sprintf("t-%d", i)})
+	}
+	got := r.snapshot(nil)
+	if len(got) != 4 {
+		t.Fatalf("snapshot holds %d records, want 4", len(got))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, want := range []string{"t-10", "t-9", "t-8", "t-7"} {
+		if got[i].ID != want {
+			t.Errorf("snapshot[%d] = %s, want %s", i, got[i].ID, want)
+		}
+	}
+}
+
+func TestRingPartiallyFull(t *testing.T) {
+	r := newRing(8)
+	r.add(&TraceRecord{ID: "a"})
+	r.add(&TraceRecord{ID: "b"})
+	got := r.snapshot(nil)
+	if len(got) != 2 || got[0].ID != "b" || got[1].ID != "a" {
+		t.Fatalf("snapshot = %v, want [b a]", ids(got))
+	}
+}
+
+func ids(ts []*TraceRecord) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}
+
+// TestRecorderHeadSampling pins the 1-in-N rule: the first trace is always
+// kept (seq 1, 1%N == 1), then every Nth after it.
+func TestRecorderHeadSampling(t *testing.T) {
+	rc := NewRecorder(RecorderOptions{SampleEvery: 4, SlowThreshold: time.Hour})
+	for i := 0; i < 8; i++ {
+		rc.Record(endedTrace("step", time.Millisecond))
+	}
+	got := rc.Traces(TraceFilter{})
+	if len(got) != 2 { // traces 1 and 5 of 8
+		t.Fatalf("kept %d traces, want 2 (1-in-4 of 8): %v", len(got), ids(got))
+	}
+	for _, tr := range got {
+		if tr.Slow {
+			t.Errorf("trace %s marked slow under an hour-long threshold", tr.ID)
+		}
+	}
+}
+
+// TestRecorderSlowSurvivesFlood is the tail-sampling guarantee: slow traces
+// live in their own ring, so any number of fast traces cannot evict them.
+func TestRecorderSlowSurvivesFlood(t *testing.T) {
+	rc := NewRecorder(RecorderOptions{
+		RecentSize: 4, SlowSize: 4,
+		SampleEvery: 1, SlowThreshold: 100 * time.Millisecond,
+	})
+	slow := endedTrace("slow-step", 500*time.Millisecond)
+	rc.Record(slow)
+	for i := 0; i < 100; i++ {
+		rc.Record(endedTrace("fast-step", time.Millisecond))
+	}
+	kept := rc.Traces(TraceFilter{SlowOnly: true})
+	if len(kept) != 1 || kept[0].ID != slow.ID() {
+		t.Fatalf("slow ring = %v, want exactly [%s]", ids(kept), slow.ID())
+	}
+	if !kept[0].Slow {
+		t.Error("retained slow trace not marked Slow")
+	}
+	if all := rc.Traces(TraceFilter{}); len(all) != 5 { // 4 recents + 1 slow
+		t.Errorf("total retained = %d, want 5 (4 recents + 1 slow)", len(all))
+	}
+}
+
+func TestRecorderIgnoresNonRootsAndUnended(t *testing.T) {
+	rc := NewRecorder(RecorderOptions{SampleEvery: 1})
+	ctx, root := StartTrace(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	rc.Record(child) // non-root
+	rc.Record(root)  // un-ended (Duration 0)
+	rc.Record(nil)   // nil span
+	if got := rc.Traces(TraceFilter{}); len(got) != 0 {
+		t.Fatalf("recorder kept %v, want nothing", ids(got))
+	}
+}
+
+func TestRecorderGetAndNameFilter(t *testing.T) {
+	rc := NewRecorder(RecorderOptions{SampleEvery: 1, SlowThreshold: time.Hour})
+	a := endedTrace("web.request", time.Millisecond)
+	b := endedTrace("session.query", 2*time.Millisecond)
+	rc.Record(a)
+	rc.Record(b)
+	if got := rc.Get(a.ID()); got == nil || got.Name != "web.request" {
+		t.Fatalf("Get(%s) = %v, want the web.request trace", a.ID(), got)
+	}
+	if got := rc.Get("no-such-id"); got != nil {
+		t.Fatalf("Get(no-such-id) = %v, want nil", got)
+	}
+	named := rc.Traces(TraceFilter{Name: "session.query"})
+	if len(named) != 1 || named[0].ID != b.ID() {
+		t.Fatalf("Traces(Name=session.query) = %v, want [%s]", ids(named), b.ID())
+	}
+}
+
+// TestRecorderConcurrent hammers Record from many goroutines while readers
+// snapshot and Get — under -race this is the data-race gate for the rings.
+func TestRecorderConcurrent(t *testing.T) {
+	rc := NewRecorder(RecorderOptions{
+		RecentSize: 8, SlowSize: 8,
+		SampleEvery: 2, SlowThreshold: 100 * time.Millisecond,
+	})
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				dur := time.Millisecond
+				if i%10 == 0 {
+					dur = time.Second
+				}
+				rc.Record(endedTrace("step", dur))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			for _, tr := range rc.Traces(TraceFilter{}) {
+				rc.Get(tr.ID)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := rc.Traces(TraceFilter{SlowOnly: true}); len(got) != 8 {
+		t.Errorf("slow ring holds %d, want full 8", len(got))
+	}
+}
+
+func TestRecorderHandler(t *testing.T) {
+	rc := NewRecorder(RecorderOptions{SampleEvery: 1})
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	rc.recent.add(&TraceRecord{
+		ID: "req-1", Name: "web.request", Start: base, Dur: 3 * time.Millisecond,
+		Spans: []SpanRecord{
+			{Name: "web.request", Depth: 0, Dur: 3 * time.Millisecond},
+			{Name: "session.query", Depth: 1, Offset: time.Millisecond, Dur: 2 * time.Millisecond,
+				Attrs: []Attr{{Key: "items", Value: "42"}}},
+		},
+	})
+	rc.slow.add(&TraceRecord{
+		ID: "req-2", Name: "session.overview", Start: base.Add(time.Second),
+		Dur: 400 * time.Millisecond, Slow: true,
+		Spans: []SpanRecord{{Name: "session.overview", Depth: 0, Dur: 400 * time.Millisecond}},
+	})
+	h := rc.Handler()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String(), rec.Header().Get("Content-Type")
+	}
+
+	// List: both traces, newest first.
+	code, body, ct := get("/debug/traces")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("list = %d %s", code, ct)
+	}
+	var list struct {
+		Traces []traceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("list body: %v\n%s", err, body)
+	}
+	if len(list.Traces) != 2 || list.Traces[0].ID != "req-2" || list.Traces[1].ID != "req-1" {
+		t.Fatalf("list = %+v, want [req-2 req-1]", list.Traces)
+	}
+	if list.Traces[0].Spans != 1 || !list.Traces[0].Slow {
+		t.Errorf("req-2 summary = %+v, want spans=1 slow=true", list.Traces[0])
+	}
+
+	// ?slow=1 keeps only the tail-sampled trace.
+	_, body, _ = get("/debug/traces?slow=1")
+	if strings.Contains(body, "req-1") || !strings.Contains(body, "req-2") {
+		t.Errorf("?slow=1 = %s, want req-2 only", body)
+	}
+
+	// ?name= filters by root span name.
+	_, body, _ = get("/debug/traces?name=web.request")
+	if strings.Contains(body, "req-2") || !strings.Contains(body, "req-1") {
+		t.Errorf("?name=web.request = %s, want req-1 only", body)
+	}
+
+	// One trace: full span JSON.
+	code, body, _ = get("/debug/traces/req-1")
+	if code != 200 {
+		t.Fatalf("trace page = %d", code)
+	}
+	var tr TraceRecord
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("trace body: %v\n%s", err, body)
+	}
+	if len(tr.Spans) != 2 || tr.Spans[1].Name != "session.query" || tr.Spans[1].Depth != 1 {
+		t.Fatalf("trace spans = %+v", tr.Spans)
+	}
+
+	// ?format=text renders the indented tree.
+	code, body, ct = get("/debug/traces/req-1?format=text")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text trace = %d %s", code, ct)
+	}
+	if !strings.Contains(body, "web.request") || !strings.Contains(body, "  session.query") ||
+		!strings.Contains(body, "items=42") {
+		t.Errorf("text tree:\n%s", body)
+	}
+
+	// Unknown ID is a 404, not an empty 200.
+	if code, _, _ = get("/debug/traces/nope"); code != 404 {
+		t.Errorf("unknown trace = %d, want 404", code)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime telemetry (the runtime.* namespace): process vitals sampled
+// periodically from runtime/metrics so /debug/metrics shows scheduler and
+// heap state next to the pipeline's own instruments. Gauges hold the most
+// recent sample; GC pauses accumulate into a histogram via per-sample
+// deltas of the runtime's own pause distribution.
+var (
+	rtGoroutines = NewGauge("runtime.goroutines")
+	rtGomaxprocs = NewGauge("runtime.gomaxprocs")
+	rtHeapLive   = NewGauge("runtime.heap.live.bytes")
+	rtHeapIdle   = NewGauge("runtime.heap.idle.bytes")
+	rtGCCycles   = NewGauge("runtime.gc.cycles")
+	rtGCPauseNS  = NewHistogram("runtime.gc.pause.ns")
+)
+
+// The runtime/metrics keys the sampler reads. Order matters: sample()
+// indexes into the batch by position.
+const (
+	rtKeyGoroutines = "/sched/goroutines:goroutines"
+	rtKeyGomaxprocs = "/sched/gomaxprocs:threads"
+	rtKeyHeapLive   = "/memory/classes/heap/objects:bytes"
+	rtKeyHeapFree   = "/memory/classes/heap/free:bytes"
+	rtKeyHeapRel    = "/memory/classes/heap/released:bytes"
+	rtKeyGCCycles   = "/gc/cycles/total:gc-cycles"
+	rtKeyGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// runtimeSampler owns the sample batch and the previous GC-pause
+// distribution, so each tick observes only the pauses that happened since
+// the last one.
+type runtimeSampler struct {
+	batch      []metrics.Sample
+	prevPauses *metrics.Float64Histogram
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	keys := []string{
+		rtKeyGoroutines, rtKeyGomaxprocs, rtKeyHeapLive,
+		rtKeyHeapFree, rtKeyHeapRel, rtKeyGCCycles, rtKeyGCPauses,
+	}
+	batch := make([]metrics.Sample, len(keys))
+	for i, k := range keys {
+		batch[i].Name = k
+	}
+	return &runtimeSampler{batch: batch}
+}
+
+// sample reads one batch and publishes it into the runtime.* metrics.
+func (rs *runtimeSampler) sample() {
+	metrics.Read(rs.batch)
+	for _, s := range rs.batch {
+		switch s.Name {
+		case rtKeyGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				rtGoroutines.Set(int64(s.Value.Uint64()))
+			}
+		case rtKeyGomaxprocs:
+			if s.Value.Kind() == metrics.KindUint64 {
+				rtGomaxprocs.Set(int64(s.Value.Uint64()))
+			}
+		case rtKeyHeapLive:
+			if s.Value.Kind() == metrics.KindUint64 {
+				rtHeapLive.Set(int64(s.Value.Uint64()))
+			}
+		case rtKeyHeapFree:
+			if s.Value.Kind() == metrics.KindUint64 {
+				// Idle = free (reusable, retained) + released (returned to
+				// the OS); the released part is added below.
+				rtHeapIdle.Set(int64(s.Value.Uint64()))
+			}
+		case rtKeyHeapRel:
+			if s.Value.Kind() == metrics.KindUint64 {
+				rtHeapIdle.Add(int64(s.Value.Uint64()))
+			}
+		case rtKeyGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				rtGCCycles.Set(int64(s.Value.Uint64()))
+			}
+		case rtKeyGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				rs.observePauseDelta(s.Value.Float64Histogram())
+			}
+		}
+	}
+}
+
+// observePauseDelta feeds the growth of the runtime's cumulative pause
+// distribution since the previous sample into runtime.gc.pause.ns, one
+// Observe per new pause at its bucket midpoint. Bucket layouts are stable
+// across reads of the same key, so counts are comparable index by index.
+func (rs *runtimeSampler) observePauseDelta(cur *metrics.Float64Histogram) {
+	prev := rs.prevPauses
+	for i, n := range cur.Counts {
+		var d uint64 = n
+		if prev != nil && i < len(prev.Counts) {
+			d = n - prev.Counts[i]
+		}
+		if d == 0 {
+			continue
+		}
+		ns := pauseBucketNS(cur.Buckets, i)
+		for ; d > 0; d-- {
+			rtGCPauseNS.Observe(ns)
+		}
+	}
+	// Keep our own copy: the runtime may reuse the sample's backing arrays.
+	cp := &metrics.Float64Histogram{
+		Counts:  append([]uint64(nil), cur.Counts...),
+		Buckets: append([]float64(nil), cur.Buckets...),
+	}
+	rs.prevPauses = cp
+}
+
+// pauseBucketNS returns a representative duration (ns) for counts bucket
+// i of a runtime Float64Histogram: the midpoint of its bounds, clamped
+// away from the ±Inf edge buckets.
+func pauseBucketNS(bounds []float64, i int) int64 {
+	lo, hi := bounds[i], bounds[i+1]
+	if math.IsInf(lo, -1) {
+		lo = 0
+	}
+	if math.IsInf(hi, 1) {
+		hi = lo
+	}
+	return int64((lo + hi) / 2 * float64(time.Second))
+}
+
+// StartRuntimeSampler samples runtime telemetry every interval (default
+// 10s for interval <= 0) until the returned stop function is called. One
+// sample is taken synchronously before returning, so the runtime.* gauges
+// are live immediately — short-lived processes (magnet-eval) get at least
+// that one reading.
+func StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	rs := newRuntimeSampler()
+	rs.sample()
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() { //magnet-vet:ignore gohygiene // process-lifecycle ticker, not pipeline fan-out
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rs.sample()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"context"
-	"fmt"
+	"crypto/rand"
+	"encoding/hex"
 	"io"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +23,15 @@ type Span struct {
 	name  string
 	start time.Time
 	dur   time.Duration
+
+	// root points at the trace root (itself for roots), so any span can
+	// reach the trace ID without walking parents. Set at creation, never
+	// mutated.
+	root *Span
+	// id is the trace ID; set on roots only, by StartTrace (generated) or
+	// SetTraceID (the web middleware stamping its request ID) before any
+	// concurrent child activity.
+	id string
 
 	mu sync.Mutex
 	// attrs and children are appended during the span's lifetime;
@@ -38,11 +49,31 @@ type Attr struct {
 
 type spanKey struct{}
 
-// StartTrace returns a context carrying a new root span. Everything
-// started from the returned context via StartSpan becomes part of the
-// tree. Call End on the root before rendering it.
+// Trace IDs are a per-process random prefix plus an atomic sequence
+// number — unique enough to join a captured trace against access-log
+// lines and histogram exemplars, and cheap enough to mint per trace.
+var (
+	traceIDPrefix = func() string {
+		b := make([]byte, 4)
+		if _, err := rand.Read(b); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b)
+	}()
+	traceIDSeq atomic.Uint64
+)
+
+func newTraceID() string {
+	return traceIDPrefix + "-" + strconv.FormatUint(traceIDSeq.Add(1), 10)
+}
+
+// StartTrace returns a context carrying a new root span with a freshly
+// minted trace ID. Everything started from the returned context via
+// StartSpan becomes part of the tree. Call End on the root before
+// rendering or recording it.
 func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
-	sp := &Span{name: name, start: time.Now()}
+	sp := &Span{name: name, start: time.Now(), id: newTraceID()}
+	sp.root = sp
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
@@ -54,11 +85,24 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	sp := &Span{name: name, start: time.Now()}
+	sp := &Span{name: name, start: time.Now(), root: parent.root}
 	parent.mu.Lock()
 	parent.children = append(parent.children, sp)
 	parent.mu.Unlock()
 	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// StartAlways starts a child span when ctx already carries a trace, or a
+// new trace root otherwise. The returned bool reports root ownership: the
+// caller that got true is responsible for handing the ended span to a
+// Recorder — this is how navigation steps are captured even outside a web
+// request (magnet-eval, the CLI, tests).
+func StartAlways(ctx context.Context, name string) (context.Context, *Span, bool) {
+	if sctx, sp := StartSpan(ctx, name); sp != nil {
+		return sctx, sp, false
+	}
+	sctx, sp := StartTrace(ctx, name)
+	return sctx, sp, true
 }
 
 // FromContext returns the current span (nil when tracing is off).
@@ -69,6 +113,43 @@ func FromContext(ctx context.Context) *Span {
 
 // Enabled reports whether ctx carries a trace.
 func Enabled(ctx context.Context) bool { return FromContext(ctx) != nil }
+
+// TraceID returns the trace ID of the trace ctx runs under ("" when
+// tracing is off) — the key histogram exemplars and the flight recorder
+// share with the access log.
+func TraceID(ctx context.Context) string {
+	return FromContext(ctx).Root().ID()
+}
+
+// Root returns the trace root of the span's tree (nil for nil).
+func (s *Span) Root() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.root
+}
+
+// IsRoot reports whether s is a trace root.
+func (s *Span) IsRoot() bool { return s != nil && s.root == s }
+
+// ID returns the span's trace ID ("" for nil or non-root spans).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetTraceID overwrites the root's generated trace ID — the web
+// middleware stamps its request ID here so access-log lines, error pages
+// and captured traces join on one key. It must be called on the root
+// before any concurrent child activity; no-op on nil or non-root spans.
+func (s *Span) SetTraceID(id string) {
+	if s == nil || s.root != s {
+		return
+	}
+	s.id = id
+}
 
 // End fixes the span's duration. Safe on nil and idempotent enough for
 // deferred use (a second End overwrites with a longer duration).
@@ -154,21 +235,12 @@ func (s *Span) Count() int {
 //	      pred.and                     2.9ms  results=120
 //
 // Durations are right-padded per line; attrs trail as key=value pairs.
+// The rendering is shared with the flight recorder: the span tree is
+// frozen into a TraceRecord and rendered from there, so live traces and
+// recorded ones print identically.
 func (s *Span) WriteTree(w io.Writer) {
 	if s == nil {
 		return
 	}
-	s.writeTree(w, 0)
-}
-
-func (s *Span) writeTree(w io.Writer, depth int) {
-	label := fmt.Sprintf("%*s%s", depth*2, "", s.name)
-	line := fmt.Sprintf("%-40s %12s", label, s.dur.Round(time.Microsecond))
-	for _, a := range s.Attrs() {
-		line += "  " + a.Key + "=" + a.Value
-	}
-	fmt.Fprintln(w, line)
-	for _, c := range s.Children() {
-		c.writeTree(w, depth+1)
-	}
+	Freeze(s).WriteTree(w)
 }

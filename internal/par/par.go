@@ -48,6 +48,12 @@ var (
 	taskPanics  = obs.NewCounter("par.task.panics")
 	batchCount  = obs.NewCounter("par.batch.count")
 	batchSerial = obs.NewCounter("par.batch.serial")
+	// queueWaitNS measures submit→start latency per task: how long a task
+	// sat behind the pool's budget (or behind earlier tasks of its own
+	// batch) before a goroutine picked it up. Under load this is the
+	// signal that separates pool saturation (waits grow, task times flat)
+	// from slow tasks (waits flat, task times grow).
+	queueWaitNS = obs.NewHistogram("par.queue.wait.ns")
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -144,6 +150,7 @@ func (p *Pool) Submit(fn func()) error {
 		runTask(0, fn)
 		return nil
 	}
+	submitted := time.Now()
 	select {
 	case p.sem <- struct{}{}:
 	case <-p.quit:
@@ -155,6 +162,7 @@ func (p *Pool) Submit(fn func()) error {
 	}
 	go func() {
 		defer func() { <-p.sem }()
+		queueWaitNS.ObserveSince(submitted)
 		runTask(0, fn)
 	}()
 	return nil
@@ -180,10 +188,13 @@ func runTask(i int, fn func()) (panicked *PanicError) {
 // batch is one fan-out: n index-addressed tasks claimed via an atomic
 // cursor by the submitting goroutine and any helpers that join.
 type batch struct {
-	ctx  context.Context
-	n    int
-	fn   func(int)
-	next atomic.Int64
+	ctx context.Context
+	n   int
+	fn  func(int)
+	// submitted is when the batch was handed to the pool; each task's
+	// claim time minus this is its queue wait.
+	submitted time.Time
+	next      atomic.Int64
 	// stop is set on the first failure (panic or context error); drainers
 	// claim no further tasks.
 	stop atomic.Bool
@@ -218,6 +229,7 @@ func (b *batch) drain() {
 			return
 		}
 		tasksQueued.Add(-1)
+		queueWaitNS.ObserveSince(b.submitted)
 		if pe := runTask(i, func() { b.fn(i) }); pe != nil {
 			b.fail(pe)
 			return
@@ -271,7 +283,7 @@ func ForN(ctx context.Context, p *Pool, n int, fn func(i int)) error {
 	if n == 1 || p.Width() <= 1 {
 		return serialRun(ctx, n, fn)
 	}
-	b := &batch{ctx: ctx, n: n, fn: fn}
+	b := &batch{ctx: ctx, n: n, fn: fn, submitted: time.Now()}
 	tasksQueued.Add(int64(n))
 	p.spawnHelpers(b, n-1)
 	b.drain()
@@ -289,10 +301,12 @@ func ForN(ctx context.Context, p *Pool, n int, fn func(i int)) error {
 // goroutines spawned.
 func serialRun(ctx context.Context, n int, fn func(i int)) error {
 	batchSerial.Inc()
+	submitted := time.Now()
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		queueWaitNS.ObserveSince(submitted)
 		if pe := runTask(i, func() { fn(i) }); pe != nil {
 			return pe
 		}

@@ -83,15 +83,19 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // observe wraps a handler with the access-log, metrics, and per-request
-// span middleware. Each request runs under its own trace root; session
-// handlers install the request context on the session (under the server
-// mutex, via lockSession) so a navigation step's spans land in the
-// request's tree and the access log can report the tree size.
+// span middleware. Each request runs under its own trace root stamped
+// with the request ID as its trace ID — so access-log lines, error pages,
+// histogram exemplars and flight-recorder captures all join on one key.
+// Session handlers install the request context on the session (under the
+// server mutex, via lockSession) so a navigation step's spans land in the
+// request's tree; the completed root is handed to the flight recorder
+// after the response is gone.
 func (s *Server) observe(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := nextRequestID()
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
 		ctx, sp := obs.StartTrace(ctx, "web.request")
+		sp.SetTraceID(id)
 		sp.SetAttr("path", r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -101,10 +105,11 @@ func (s *Server) observe(h http.Handler) http.Handler {
 			sw.status = http.StatusOK
 		}
 		reqCount.Inc()
-		reqNS.ObserveSince(start)
+		reqNS.ObserveSinceExemplar(start, id)
 		if c := sw.status / 100; c >= 1 && c <= 5 {
 			reqStatusClass[c].Inc()
 		}
+		obs.Records.Record(sp)
 		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
 			slog.String("id", id),
 			slog.String("method", r.Method),
