@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet magnet-vet vet-budget fuzz race-par obs-check bench-json bench-parallel segments segments-check check
+.PHONY: build test race vet magnet-vet vet-budget fuzz race-par obs-check bench-json bench-parallel segments segments-check load-check check
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzItemSetOps -fuzztime=$(FUZZTIME) ./internal/itemset/
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentHeader -fuzztime=$(FUZZTIME) ./internal/segment/
 	$(GO) test -run='^$$' -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) ./internal/segment/
+	$(GO) test -run='^$$' -fuzz=FuzzShard -fuzztime=$(FUZZTIME) ./internal/ids/
+	$(GO) test -run='^$$' -fuzz=FuzzShardPartition -fuzztime=$(FUZZTIME) ./internal/itemset/
 
 # Focused race pass over the parallel pipeline: the internal/par pool
 # stress tests and every serial-vs-parallel equivalence/determinism test.
@@ -109,4 +111,20 @@ segments-check:
 	echo "segments-check: segment-backed render byte-identical"; \
 	rm -rf /tmp/magnet-segcheck /tmp/magnet-segcheck-mem.txt /tmp/magnet-segcheck-seg.txt
 
-check: build vet vet-budget test race race-par obs-check fuzz segments-check bench-json
+# Serving-load gate: a short deterministic magnet-load smoke run — many
+# concurrent simuser sessions against one shared sharded instance — built
+# and run under the race detector, with a vet-budget-style wall-clock
+# guard. Catches session-concurrency races and scatter-gather regressions
+# that unit tests are too small to hit.
+LOADBUDGET ?= 120
+load-check:
+	@$(GO) build -race -o /tmp/magnet-load-check ./cmd/magnet-load
+	@start=$$(date +%s); \
+	/tmp/magnet-load-check -recipes 400 -sessions 40 -concurrency 8 -shards 4 -out "" || exit 1; \
+	end=$$(date +%s); elapsed=$$((end-start)); \
+	echo "magnet-load wall clock: $${elapsed}s (budget $(LOADBUDGET)s)"; \
+	if [ $$elapsed -gt $(LOADBUDGET) ]; then \
+		echo "magnet-load exceeded its $(LOADBUDGET)s budget" >&2; exit 1; \
+	fi
+
+check: build vet vet-budget test race race-par obs-check fuzz segments-check load-check bench-json

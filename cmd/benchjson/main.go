@@ -8,93 +8,27 @@
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH_2026-08-06.json
 //
 // Standard metrics (ns/op, B/op, allocs/op) and custom ReportMetric units
-// are all carried through as a name → value map per benchmark.
+// are all carried through as a name → value map per benchmark. The schema
+// and parser live in internal/benchfmt, shared with cmd/magnet-load (which
+// merges its load-test results into the same day's snapshot).
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
-	"regexp"
-	"runtime"
-	"strconv"
-	"strings"
-	"time"
+
+	"magnet/internal/benchfmt"
 )
 
-// Benchmark is one benchmark result line.
-type Benchmark struct {
-	// Name is the benchmark name without the -P GOMAXPROCS suffix.
-	Name string `json:"name"`
-	// Pkg is the package the benchmark ran in (from the preceding "pkg:"
-	// line; empty when the input carries none).
-	Pkg string `json:"pkg,omitempty"`
-	// Procs is the GOMAXPROCS suffix (1 when absent).
-	Procs int `json:"procs"`
-	// Iterations is b.N for the measured run.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit → value: ns/op, B/op, allocs/op, and any custom
-	// units from b.ReportMetric.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Document is the emitted JSON root. GoMaxProcs and NumCPU record the
-// machine the run happened on — per-benchmark Procs only captures the
-// -cpu suffix, so without these two numbers runs from differently-sized
-// hosts are not comparable.
-type Document struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	NumCPU     int         `json:"numcpu"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
-
 func main() {
-	doc := Document{
-		Date:       time.Now().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	pkg := ""
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
-			pkg = rest
-			continue
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		b := Benchmark{Name: m[1], Pkg: pkg, Procs: 1, Metrics: map[string]float64{}}
-		if m[2] != "" {
-			b.Procs, _ = strconv.Atoi(m[2])
-		}
-		b.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
-		fields := strings.Fields(m[4])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			b.Metrics[fields[i+1]] = v
-		}
-		doc.Benchmarks = append(doc.Benchmarks, b)
-	}
-	if err := sc.Err(); err != nil {
+	doc := benchfmt.New()
+	bs, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	doc.Benchmarks = bs
+	if err := doc.Encode(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

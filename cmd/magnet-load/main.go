@@ -1,0 +1,240 @@
+// Command magnet-load replays concurrent simulated-user navigation sessions
+// (internal/simuser) against one shared core instance and reports step
+// latency and throughput. It is the serving-side load harness: the proof
+// that many sessions can step concurrently against one Magnet — including
+// a sharded scatter-gather one — and the source of the load-test entries in
+// the committed BENCH_<date>.json snapshots.
+//
+// Each session is a full study task driven through core.Session (queries,
+// refinements, pane assembly, facet overview), so the latencies are real
+// end-to-end navigation steps, measured by the existing internal/obs step
+// histograms (session.query.ns, session.pane.ns, session.overview.ns):
+// the harness snapshots them before and after the run and reports the
+// delta, so only this run's steps are counted.
+//
+// Usage:
+//
+//	magnet-load                                      # 200 sessions, in-memory corpus
+//	magnet-load -shards 4 -parallelism 4             # sharded scatter-gather serving
+//	magnet-load -segments segs/recipes               # segment-backed (auto-detects shard layouts)
+//	magnet-load -sessions 40 -concurrency 8 -out ""  # short smoke run, no snapshot write
+//
+// With -out (default BENCH_<date>.json) the results merge into that day's
+// benchmark snapshot next to the microbenchmarks, replacing any previous
+// magnet-load entries for the same configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"magnet/internal/benchfmt"
+	"magnet/internal/core"
+	"magnet/internal/dataload"
+	"magnet/internal/obs"
+	"magnet/internal/simuser"
+)
+
+func main() {
+	dataset := flag.String("dataset", "recipes", "built-in dataset (must be recipes-vocabulary for the study tasks)")
+	nRecipes := flag.Int("recipes", 2000, "in-memory recipe corpus size")
+	seed := flag.Int64("seed", 1, "corpus and session seed")
+	segments := flag.String("segments", "", "open a segment directory instead of building in memory (shard layouts auto-detected)")
+	shards := flag.Int("shards", 0, "scatter-gather shard count for in-memory serving (0 = unsharded)")
+	parallelism := flag.Int("parallelism", 0, "core worker-pool width (0 = GOMAXPROCS)")
+	sessions := flag.Int("sessions", 200, "number of simulated-user sessions to replay")
+	concurrency := flag.Int("concurrency", 0, "sessions in flight at once (0 = all of them)")
+	out := flag.String("out", "", "benchmark snapshot to merge results into (default BENCH_<date>.json; empty with an explicit -out= skips the write)")
+	outSet := false
+	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+
+	if err := run(*dataset, *nRecipes, *seed, *segments, *shards, *parallelism,
+		*sessions, *concurrency, *out, outSet); err != nil {
+		fmt.Fprintf(os.Stderr, "magnet-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// open builds or opens the serving instance per the flags.
+func open(dataset string, nRecipes int, seed int64, segments string, shards, parallelism int) (*core.Magnet, string, error) {
+	opts := core.Options{Parallelism: parallelism, Shards: shards}
+	if segments != "" {
+		// A shard layout has shard-000/ subdirectories; a plain segment set
+		// has its manifest at the top level.
+		if _, err := os.Stat(filepath.Join(segments, "shard-000")); err == nil {
+			m, err := core.OpenSegmentShards(segments, opts)
+			if err != nil {
+				return nil, "", err
+			}
+			return m, fmt.Sprintf("segment shard layout %s", segments), nil
+		}
+		m, err := core.OpenSegments(segments, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		return m, fmt.Sprintf("segment set %s", segments), nil
+	}
+	g, allSubjects, err := dataload.Load(dataload.Spec{Dataset: dataset, Recipes: nRecipes, Seed: seed})
+	if err != nil {
+		return nil, "", err
+	}
+	opts.IndexAllSubjects = allSubjects
+	return core.Open(g, opts), fmt.Sprintf("in-memory %s corpus (%d recipes)", dataset, nRecipes), nil
+}
+
+// step is one of the session step histograms the harness reports on.
+type step struct {
+	name   string
+	hist   *obs.Histogram
+	before obs.HistSnapshot
+	delta  obs.HistSnapshot
+}
+
+func run(dataset string, nRecipes int, seed int64, segments string, shards, parallelism, sessions, concurrency int, out string, outSet bool) error {
+	if sessions < 1 {
+		return fmt.Errorf("-sessions must be >= 1")
+	}
+	if concurrency <= 0 || concurrency > sessions {
+		concurrency = sessions
+	}
+
+	m, backing, err := open(dataset, nRecipes, seed, segments, shards, parallelism)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	replay := simuser.NewReplay(m)
+	if _, err := replay.Target(); err != nil {
+		return err
+	}
+
+	fmt.Printf("magnet-load: %s, %d sessions, %d concurrent, GOMAXPROCS=%d\n",
+		backing, sessions, concurrency, runtime.GOMAXPROCS(0))
+
+	// Snapshot the process-global step histograms so the report covers only
+	// this run (Replay preparation above already stepped a few sessions' worth
+	// of nothing — NewReplay itself runs no sessions, but NewSession inside
+	// the workers does the all-items query that lands in session.query.ns).
+	steps := []*step{
+		{name: "query", hist: obs.Default.Histogram("session.query.ns")},
+		{name: "pane", hist: obs.Default.Histogram("session.pane.ns")},
+		{name: "overview", hist: obs.Default.Histogram("session.overview.ns")},
+	}
+	for _, st := range steps {
+		st.before = st.hist.Snapshot()
+	}
+
+	// Replay: an atomic cursor hands out session indices; `concurrency`
+	// workers run them, every session a fresh core.Session against the one
+	// shared instance.
+	var next atomic.Int64
+	var found atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= sessions {
+					return
+				}
+				found.Add(int64(replay.Session(i, seed+int64(i)*7919)))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var combined obs.HistSnapshot
+	for _, st := range steps {
+		st.delta = st.hist.Snapshot().Sub(st.before)
+		combined = combined.Add(st.delta)
+	}
+	if combined.Count == 0 {
+		return fmt.Errorf("no navigation steps recorded — the replay did nothing")
+	}
+
+	qps := float64(combined.Count) / wall.Seconds()
+	fmt.Printf("  %d sessions in %s: %d steps, %.1f steps/s, %d recipes found\n",
+		sessions, wall.Round(time.Millisecond), combined.Count, qps, found.Load())
+	for _, st := range append(steps, &step{name: "step", delta: combined}) {
+		if st.delta.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s count=%-6d p50=%-10s p99=%s\n", st.name, st.delta.Count,
+			time.Duration(st.delta.Quantile(0.5)), time.Duration(st.delta.Quantile(0.99)))
+	}
+
+	if outSet && out == "" {
+		return nil
+	}
+
+	doc, err := benchfmt.Load(orDefault(out))
+	if err != nil {
+		return err
+	}
+	name := "BenchmarkLoadSessions/shards=" + strconv.Itoa(effectiveShards(m, shards)) +
+		"/concurrency=" + strconv.Itoa(concurrency)
+	entry := benchfmt.Benchmark{
+		Name:       name,
+		Pkg:        "magnet/cmd/magnet-load",
+		Procs:      runtime.GOMAXPROCS(0),
+		Iterations: int64(sessions),
+		Metrics: map[string]float64{
+			"steps/s":         qps,
+			"p50-step-ns":     float64(combined.Quantile(0.5)),
+			"p99-step-ns":     float64(combined.Quantile(0.99)),
+			"p50-query-ns":    float64(steps[0].delta.Quantile(0.5)),
+			"p99-query-ns":    float64(steps[0].delta.Quantile(0.99)),
+			"p50-pane-ns":     float64(steps[1].delta.Quantile(0.5)),
+			"p99-pane-ns":     float64(steps[1].delta.Quantile(0.99)),
+			"p50-overview-ns": float64(steps[2].delta.Quantile(0.5)),
+			"p99-overview-ns": float64(steps[2].delta.Quantile(0.99)),
+			"steps":           float64(combined.Count),
+			"shards":          float64(effectiveShards(m, shards)),
+			"gomaxprocs":      float64(runtime.GOMAXPROCS(0)),
+			"wall-s":          wall.Seconds(),
+		},
+	}
+	doc.Merge(entry)
+	path := orDefault(out)
+	if err := doc.Write(path); err != nil {
+		return err
+	}
+	fmt.Printf("  merged %s into %s\n", name, path)
+	return nil
+}
+
+// orDefault resolves the output path: empty means today's BENCH_<date>.json.
+func orDefault(out string) string {
+	if out != "" {
+		return out
+	}
+	return benchfmt.New().FileName()
+}
+
+// effectiveShards reports the shard count the instance actually serves with
+// (a shard-layout open forces it from the manifest, overriding the flag).
+func effectiveShards(m *core.Magnet, flagShards int) int {
+	if n := m.Shards(); n > 0 {
+		return n
+	}
+	if flagShards > 0 {
+		return flagShards
+	}
+	return 1
+}

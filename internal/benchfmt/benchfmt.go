@@ -1,0 +1,165 @@
+// Package benchfmt is the shared schema of the committed BENCH_<date>.json
+// snapshots: the document and benchmark-entry types, the `go test -bench`
+// text parser behind cmd/benchjson, and load/merge/write helpers so other
+// producers (cmd/magnet-load) can add entries to the same day's document
+// instead of inventing a second format.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark result entry.
+type Benchmark struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the preceding "pkg:"
+	// line; empty when the input carries none).
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the measured run (or the operation count for
+	// harness-produced entries like magnet-load's).
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op, and any custom
+	// units from b.ReportMetric or a harness.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the BENCH_<date>.json root. GoMaxProcs and NumCPU record
+// the machine the run happened on — per-benchmark Procs only captures the
+// -cpu suffix, so without these two numbers runs from differently-sized
+// hosts are not comparable (the 2026-08-06 snapshot was taken on a
+// single-core container, for instance).
+type Document struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// New returns a document stamped with today's date and this machine's
+// runtime facts.
+func New() Document {
+	return Document{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// FileName returns the conventional snapshot name for the document's date,
+// BENCH_<date>.json.
+func (d Document) FileName() string { return "BENCH_" + d.Date + ".json" }
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+// Parse reads `go test -bench` text output and returns the benchmark
+// entries it contains. Non-benchmark lines are skipped; "pkg:" lines set
+// the package of subsequent entries.
+func Parse(r io.Reader) ([]Benchmark, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Benchmark
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Pkg: pkg, Procs: 1, Metrics: map[string]float64{}}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		b.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// Load reads a snapshot document from path. A missing file returns a fresh
+// New() document, so producers can merge into today's snapshot whether or
+// not the microbenchmarks ran first.
+func Load(path string) (Document, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return New(), nil
+	}
+	if err != nil {
+		return Document{}, err
+	}
+	var d Document
+	if err := json.Unmarshal(b, &d); err != nil {
+		return Document{}, err
+	}
+	return d, nil
+}
+
+// Merge appends entries, replacing any existing entry with the same
+// (Name, Pkg, Procs) identity so re-runs update in place instead of
+// accumulating duplicates.
+func (d *Document) Merge(bs ...Benchmark) {
+	for _, b := range bs {
+		replaced := false
+		for i, old := range d.Benchmarks {
+			if old.Name == b.Name && old.Pkg == b.Pkg && old.Procs == b.Procs {
+				d.Benchmarks[i] = b
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			d.Benchmarks = append(d.Benchmarks, b)
+		}
+	}
+}
+
+// Encode writes the document as indented JSON.
+func (d Document) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Write atomically writes the document to path (temp file + rename).
+func (d Document) Write(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := d.Encode(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,108 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: magnet/internal/query
+cpu: some CPU
+BenchmarkEval-4   	    1000	   1234567 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkEval      	     500	   2000000 ns/op
+not a bench line
+pkg: magnet/internal/facets
+BenchmarkSummarize-2 	     200	   5555555 ns/op	 42.5 widgets/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	bs, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []Benchmark{
+		{Name: "BenchmarkEval", Pkg: "magnet/internal/query", Procs: 4, Iterations: 1000,
+			Metrics: map[string]float64{"ns/op": 1234567, "B/op": 2048, "allocs/op": 12}},
+		{Name: "BenchmarkEval", Pkg: "magnet/internal/query", Procs: 1, Iterations: 500,
+			Metrics: map[string]float64{"ns/op": 2000000}},
+		{Name: "BenchmarkSummarize", Pkg: "magnet/internal/facets", Procs: 2, Iterations: 200,
+			Metrics: map[string]float64{"ns/op": 5555555, "widgets/op": 42.5}},
+	}
+	if !reflect.DeepEqual(bs, want) {
+		t.Fatalf("Parse mismatch:\n got %+v\nwant %+v", bs, want)
+	}
+}
+
+func TestDocumentJSONSchema(t *testing.T) {
+	// The committed BENCH_<date>.json field names are part of the format;
+	// guard against accidental renames.
+	d := Document{Date: "2026-08-07", GoVersion: "go1.24.0", GoMaxProcs: 1, NumCPU: 1,
+		Benchmarks: []Benchmark{{Name: "BenchmarkX", Pkg: "p", Procs: 1, Iterations: 3,
+			Metrics: map[string]float64{"ns/op": 1}}}}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"date"`, `"go"`, `"gomaxprocs"`, `"numcpu"`, `"benchmarks"`,
+		`"name"`, `"pkg"`, `"procs"`, `"iterations"`, `"metrics"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("encoded document missing %s: %s", key, b)
+		}
+	}
+}
+
+func TestLoadMergeWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-08-07.json")
+
+	// Missing file: fresh stamped document.
+	d, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load missing: %v", err)
+	}
+	if d.Date == "" || d.GoVersion == "" || d.GoMaxProcs < 1 {
+		t.Fatalf("Load of missing file returned unstamped document: %+v", d)
+	}
+
+	a := Benchmark{Name: "BenchmarkA", Pkg: "p", Procs: 1, Iterations: 10,
+		Metrics: map[string]float64{"ns/op": 100}}
+	b := Benchmark{Name: "BenchmarkB", Pkg: "p", Procs: 1, Iterations: 20,
+		Metrics: map[string]float64{"ns/op": 200}}
+	d.Merge(a, b)
+	if err := d.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// Merge replaces by (Name, Pkg, Procs) identity rather than duplicating.
+	d2, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a2 := a
+	a2.Metrics = map[string]float64{"ns/op": 150}
+	d2.Merge(a2)
+	if len(d2.Benchmarks) != 2 {
+		t.Fatalf("Merge duplicated entries: %+v", d2.Benchmarks)
+	}
+	if got := d2.Benchmarks[0].Metrics["ns/op"]; got != 150 {
+		t.Fatalf("Merge did not replace: ns/op = %v, want 150", got)
+	}
+
+	// No stray temp file after atomic write.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestFileName(t *testing.T) {
+	d := Document{Date: "2026-08-07"}
+	if got := d.FileName(); got != "BENCH_2026-08-07.json" {
+		t.Fatalf("FileName = %q", got)
+	}
+}

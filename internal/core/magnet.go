@@ -73,6 +73,13 @@ type Options struct {
 	// per-request parallelism instead of oversubscribing. 0 means
 	// runtime.GOMAXPROCS(0); 1 runs the whole pipeline serially.
 	Parallelism int
+	// Shards enables scatter-gather serving: the dense-ID space is
+	// partitioned into this many shards by ids.Shard, and every session
+	// step's query evaluation, facet summarization and advisor member
+	// counting scatter one task per shard on the pool before an exact
+	// merge. Output is byte-identical to unsharded serving at any shard
+	// count (shard_equiv_test.go); 0 or 1 serves unsharded.
+	Shards int
 }
 
 // Magnet is an instance of the navigation system over one repository.
@@ -90,6 +97,10 @@ type Magnet struct {
 	// pool is the instance's one concurrency budget (Options.Parallelism),
 	// shared by every session.
 	pool *par.Pool
+	// sharding is the scatter-gather layout (Options.Shards > 1): the item
+	// universe partitioned per shard. Rebuilt whenever itemIDs changes and
+	// read by every session step; nil serves unsharded.
+	sharding *query.Sharding
 
 	// set is the backing segment set when the instance was opened with
 	// OpenSegments; nil for in-memory instances. readOnly guards the
@@ -99,6 +110,10 @@ type Magnet struct {
 	set       *segment.Set
 	readOnly  bool
 	itemsOnce sync.Once
+	// shardSets holds the remaining per-shard segment sets when the
+	// instance was opened with OpenSegmentShards (set holds shard 0, whose
+	// columns back the indexes); Close unmaps them all.
+	shardSets []*segment.Set
 }
 
 // Open builds a Magnet over the graph: it chooses the item universe,
@@ -132,6 +147,29 @@ func OpenContext(ctx context.Context, g *rdf.Graph, opts Options) *Magnet {
 func (m *Magnet) buildEngine() {
 	m.eng = query.NewEngine(m.g, m.sch, m.text, m.itemsSlice)
 	m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
+	m.reshard()
+}
+
+// reshard rebuilds the scatter-gather layout from the current item
+// universe. Called wherever itemIDs changes (open, reindex, incremental
+// index/remove); a no-op for unsharded instances.
+func (m *Magnet) reshard() {
+	if m.opts.Shards > 1 {
+		m.sharding = query.BuildSharding(m.opts.Shards, m.itemIDs)
+	} else {
+		m.sharding = nil
+	}
+}
+
+// evalQuery evaluates q through the instance's configured serving path:
+// scatter-gather over the shard layout when Options.Shards > 1, the plain
+// instrumented evaluation otherwise. The second return is the result's
+// per-shard partition (nil when unsharded) for downstream stages to reuse.
+func (m *Magnet) evalQuery(ctx context.Context, q query.Query) (query.Set, []itemset.Set) {
+	if sh := m.sharding; sh != nil {
+		return m.eng.EvalShardedParts(ctx, q, sh, m.pool)
+	}
+	return m.eng.EvalContext(ctx, q), nil
 }
 
 // Reindex recomputes the item universe, the text index and all vectors;
@@ -215,6 +253,7 @@ func (m *Magnet) IndexItem(item rdf.IRI) {
 		m.items[i] = item
 		id := m.g.Interner().Intern(item)
 		m.itemIDs = m.itemIDs.Union(itemset.FromSorted([]uint32{id}))
+		m.reshard()
 	}
 }
 
@@ -229,6 +268,7 @@ func (m *Magnet) RemoveItem(item rdf.IRI) {
 		m.items = append(m.items[:i], m.items[i+1:]...)
 		if id, ok := m.g.SubjectID(item); ok {
 			m.itemIDs = m.itemIDs.Minus(itemset.FromSorted([]uint32{id}))
+			m.reshard()
 		}
 	}
 }
@@ -259,6 +299,15 @@ func (m *Magnet) chooseItems() []rdf.IRI {
 // Pool returns the instance's shared worker pool.
 func (m *Magnet) Pool() *par.Pool { return m.pool }
 
+// Shards returns the scatter-gather shard count the instance serves with
+// (0 when unsharded).
+func (m *Magnet) Shards() int {
+	if m.sharding == nil {
+		return 0
+	}
+	return m.sharding.N
+}
+
 // Close releases the instance's worker pool and, for segment-backed
 // instances, unmaps the segment files. Sessions keep working after Close —
 // every parallel seam degrades to its serial path — but segment-backed
@@ -267,6 +316,9 @@ func (m *Magnet) Close() {
 	m.pool.Close()
 	if m.set != nil {
 		_ = m.set.Close()
+	}
+	for _, s := range m.shardSets {
+		_ = s.Close()
 	}
 }
 

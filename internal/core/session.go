@@ -103,6 +103,7 @@ func (m *Magnet) NewSession() *Session {
 		Text:       m.text,
 		Tracker:    s.tracker,
 		LookupView: s.lookupView,
+		Pool:       m.pool,
 	}
 	build := m.opts.Analysts
 	if build == nil {
@@ -163,9 +164,12 @@ func (s *Session) goTo(v blackboard.View) {
 
 func (s *Session) goToQuery(q query.Query) {
 	ctx, st := s.startStep("session.query")
-	items := s.m.eng.EvalContext(ctx, q).Items()
+	res, parts := s.m.evalQuery(ctx, q)
+	items := res.Items()
 	s.tracker.PushQuery(q)
-	s.goTo(blackboard.CollectionView(q, items))
+	v := blackboard.CollectionView(q, items)
+	v.Shards = parts
+	s.goTo(v)
 	st.sp.SetInt("items", len(items))
 	st.finish(stepQueryCount, stepQueryNS)
 }
@@ -268,8 +272,10 @@ func (s *Session) Back() bool {
 	if !ok {
 		return false
 	}
-	items := s.m.eng.EvalContext(s.ctx, q).Items()
-	s.goTo(blackboard.CollectionView(q, items))
+	res, parts := s.m.evalQuery(s.ctx, q)
+	v := blackboard.CollectionView(q, res.Items())
+	v.Shards = parts
+	s.goTo(v)
 	return true
 }
 
@@ -327,12 +333,20 @@ func (s *Session) Pane() advisors.Pane {
 // histograms per property, ordered by usefulness, values by count.
 func (s *Session) Overview(maxValues int) []facets.Facet {
 	ctx, st := s.startStep("session.overview")
-	items := s.Items()
-	fs := facets.SummarizeContext(ctx, s.m.g, s.m.sch, items, facets.Options{
+	opts := facets.Options{
 		MaxValues: maxValues,
 		ByCount:   true,
 		Pool:      s.m.pool,
-	})
+	}
+	var fs []facets.Facet
+	if s.current.Shards != nil {
+		// Sharded serving: the view carries the collection's partition from
+		// query evaluation; summarize per shard and merge the counts
+		// (byte-identical to the unsharded pass).
+		fs = facets.SummarizeShards(ctx, s.m.g, s.m.sch, s.current.Shards, opts)
+	} else {
+		fs = facets.SummarizeContext(ctx, s.m.g, s.m.sch, s.Items(), opts)
+	}
 	st.sp.SetInt("facets", len(fs))
 	st.finish(stepOverviewCount, stepOverviewNS)
 	return fs

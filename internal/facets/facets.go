@@ -109,8 +109,18 @@ func summarize(ctx context.Context, g *rdf.Graph, sch *schema.Store, items []rdf
 			collIDs = append(collIDs, id)
 		}
 	}
-	coll := itemset.FromUnsorted(collIDs)
+	facets := summarizeSet(ctx, g, sch, itemset.FromUnsorted(collIDs), opts)
+	summarizeCount.Inc()
+	summarizeNS.ObserveSince(start)
+	summarizeFacets.Observe(int64(len(facets)))
+	return facets
+}
 
+// summarizeSet is the dense-ID core of Summarize: aggregation over an
+// already-interned collection. The sharded path calls it once per shard
+// (with raw options) and once here for the whole collection; it records no
+// metrics so entry points stay comparable.
+func summarizeSet(ctx context.Context, g *rdf.Graph, sch *schema.Store, coll itemset.Set, opts Options) []Facet {
 	// Every intersection result is a subset of coll, so coll's max ID bounds
 	// each worker's epoch-stamp array.
 	var maxID uint32
@@ -146,7 +156,17 @@ func summarize(ctx context.Context, g *rdf.Graph, sch *schema.Store, items []rdf
 			facets = append(facets, *f)
 		}
 	}
+	sortFacets(facets)
+	return facets
+}
 
+// sortFacets applies the display order shared by the unsharded and
+// shard-merged paths: preferred (annotated) facets first, then by
+// descending Score, ties alphabetical. Callers must present facets in
+// property order (Predicates() is sorted; MergeShards re-sorts by Prop) so
+// equal-key elements enter the unstable sort in the same sequence on both
+// paths and the output stays byte-identical.
+func sortFacets(facets []Facet) {
 	sort.Slice(facets, func(i, j int) bool {
 		if facets[i].Preferred != facets[j].Preferred {
 			return facets[i].Preferred
@@ -157,10 +177,6 @@ func summarize(ctx context.Context, g *rdf.Graph, sch *schema.Store, items []rdf
 		}
 		return facets[i].Label < facets[j].Label
 	})
-	summarizeCount.Inc()
-	summarizeNS.ObserveSince(start)
-	summarizeFacets.Observe(int64(len(facets)))
-	return facets
 }
 
 // summarizeProp aggregates one property over the collection, returning nil

@@ -1,0 +1,150 @@
+package facets
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"magnet/internal/itemset"
+	"magnet/internal/obs"
+	"magnet/internal/par"
+	"magnet/internal/rdf"
+	"magnet/internal/schema"
+)
+
+// Sharded facet summarization: the collection arrives already partitioned
+// into disjoint shard subsets (the partition the sharded query evaluator
+// returns), each shard aggregates its slice independently on the pool, and
+// the per-shard tables are merged by per-attribute count reduction. The
+// merge is exact because shard collections are disjoint: a value's count
+// is |subjects(v) ∩ coll| = Σ_s |subjects(v) ∩ coll_s| and coverage sums
+// the same way, so every derived quantity (distinct, shared, Score) is
+// recomputed from exact totals. All display shaping — MinCount and
+// unshared filtering, value ordering, MaxValues truncation, the final
+// facet order — happens after the merge, on the same helpers the
+// unsharded path uses, so the output is byte-identical at any shard count.
+
+var (
+	summarizeShardedCount = obs.NewCounter("facets.summarize.sharded.count")
+	summarizeShardedNS    = obs.NewHistogram("facets.summarize.sharded.ns")
+)
+
+// rawOptions is the per-shard scatter configuration: no truncation, no
+// count floor, unshared kept — every drop decision needs merged totals.
+var rawOptions = Options{IncludeUnshared: true}
+
+// SummarizeShards computes the facet table of the collection whose
+// disjoint partition is shards, scattering one aggregation per shard on
+// opts.Pool and gathering with MergeShards. Output is byte-identical to
+// Summarize over the union. On context cancellation it falls back to one
+// serial unsharded pass so the table is never partial.
+func SummarizeShards(ctx context.Context, g *rdf.Graph, sch *schema.Store, shards []itemset.Set, opts Options) []Facet {
+	ctx, sp := obs.StartSpan(ctx, "facets.summarize.sharded")
+	sp.SetInt("shards", len(shards))
+	start := time.Now()
+	parts := make([][]Facet, len(shards))
+	err := par.ForN(ctx, opts.Pool, len(shards), func(i int) {
+		parts[i] = summarizeSet(ctx, g, sch, shards[i], rawOptions)
+	})
+	var facets []Facet
+	if err != nil {
+		var pe *par.PanicError
+		if errors.As(err, &pe) {
+			panic(pe)
+		}
+		serial := opts
+		serial.Pool = nil
+		facets = summarizeSet(ctx, g, sch, itemset.MergeDisjoint(shards), serial)
+	} else {
+		facets = MergeShards(parts, opts)
+	}
+	summarizeShardedCount.Inc()
+	summarizeShardedNS.ObserveSince(start)
+	summarizeCount.Inc()
+	summarizeNS.ObserveSince(start)
+	summarizeFacets.Observe(int64(len(facets)))
+	sp.SetInt("facets", len(facets))
+	sp.End()
+	return facets
+}
+
+// MergeShards reduces per-shard raw facet tables (as produced with
+// rawOptions over disjoint collections) into the final display table under
+// opts. Exported for the load generator's offline verification; most
+// callers want SummarizeShards.
+func MergeShards(parts [][]Facet, opts Options) []Facet {
+	type acc struct {
+		f      Facet
+		order  []string // value keys in first-seen order
+		counts map[string]*Value
+	}
+	accs := make(map[rdf.IRI]*acc)
+	var props []rdf.IRI // first-seen property order (re-sorted below)
+	for _, fs := range parts {
+		for _, f := range fs {
+			a := accs[f.Prop]
+			if a == nil {
+				a = &acc{
+					f: Facet{
+						Prop:      f.Prop,
+						Label:     f.Label,
+						Labeled:   f.Labeled,
+						ValueType: f.ValueType,
+						Preferred: f.Preferred,
+					},
+					counts: make(map[string]*Value),
+				}
+				accs[f.Prop] = a
+				props = append(props, f.Prop)
+			}
+			a.f.Coverage += f.Coverage
+			for _, v := range f.Values {
+				key := v.Term.Key()
+				if mv := a.counts[key]; mv != nil {
+					mv.Count += v.Count
+				} else {
+					a.counts[key] = &Value{Term: v.Term, Label: v.Label, Count: v.Count}
+					a.order = append(a.order, key)
+				}
+			}
+		}
+	}
+	// Canonical pre-sort sequence: the unsharded path feeds sortFacets in
+	// property order (Predicates() is sorted), so the merged path must too
+	// — first-seen order here depends on per-shard display sorting.
+	sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+	facets := make([]Facet, 0, len(props))
+	for _, p := range props {
+		a := accs[p]
+		shared := false
+		// Built with append from nil, like summarizeProp, so a fully
+		// filtered facet carries a nil Values on both paths.
+		var values []Value
+		for _, key := range a.order {
+			v := *a.counts[key]
+			if v.Count >= 2 {
+				shared = true
+			}
+			if opts.MinCount > 1 && v.Count < opts.MinCount {
+				continue
+			}
+			values = append(values, v)
+		}
+		a.f.Distinct = len(a.order)
+		a.f.Values = values
+		if a.f.Coverage == 0 {
+			continue
+		}
+		if !shared && !opts.IncludeUnshared && !a.f.Preferred {
+			continue
+		}
+		sortValues(a.f.Values, opts.ByCount)
+		if opts.MaxValues > 0 && len(a.f.Values) > opts.MaxValues {
+			a.f.Values = a.f.Values[:opts.MaxValues]
+		}
+		facets = append(facets, a.f)
+	}
+	sortFacets(facets)
+	return facets
+}

@@ -1,0 +1,96 @@
+package facets
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"magnet/internal/ids"
+	"magnet/internal/itemset"
+	"magnet/internal/par"
+	"magnet/internal/rdf"
+	"magnet/internal/schema"
+)
+
+// randomUniverse builds a random graph with schema annotations and returns
+// the collection both as IRIs (unsharded entry) and as a dense ID set.
+func randomUniverse(rng *rand.Rand) (*rdf.Graph, *schema.Store, []rdf.IRI, itemset.Set) {
+	g := rdf.NewGraph()
+	n := rng.Intn(60) + 2
+	var items []rdf.IRI
+	for i := 0; i < n; i++ {
+		it := rdf.IRI(fmt.Sprintf("%si%d", ex, i))
+		items = append(items, it)
+		g.Add(it, rdf.Type, rdf.IRI(fmt.Sprintf("%sT%d", ex, rng.Intn(2))))
+		for j := 0; j < rng.Intn(5); j++ {
+			p := rdf.IRI(fmt.Sprintf("%sp%d", ex, rng.Intn(4)))
+			if rng.Intn(2) == 0 {
+				g.Add(it, p, rdf.IRI(fmt.Sprintf("%sv%d", ex, rng.Intn(6))))
+			} else {
+				g.Add(it, p, rdf.NewString(fmt.Sprintf("s%d", rng.Intn(6))))
+			}
+		}
+	}
+	// Annotate after the data so the schema sees every property: one
+	// preferred facet, one hidden property, one labeled.
+	sch := schema.NewStore(g)
+	sch.SetFacet(rdf.IRI(ex + "p0"))
+	sch.SetHidden(rdf.IRI(ex + "p1"))
+	sch.SetLabel(rdf.IRI(ex+"p2"), "Pets")
+	collIDs := make([]uint32, 0, len(items))
+	for _, it := range items {
+		if id, ok := g.SubjectID(it); ok {
+			collIDs = append(collIDs, id)
+		}
+	}
+	return g, sch, items, itemset.FromUnsorted(collIDs)
+}
+
+// TestSummarizeShardsEquivalence: shard-merge of per-shard facet counts is
+// byte-identical to the unsharded Summarize on random universes, at every
+// shard count, for every display option combination, serial and pooled.
+func TestSummarizeShardsEquivalence(t *testing.T) {
+	pool := par.New(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(17))
+	ctx := context.Background()
+	optsList := []Options{
+		{},
+		{ByCount: true},
+		{MaxValues: 3, ByCount: true},
+		{MinCount: 2},
+		{IncludeUnshared: true},
+		{MaxValues: 2, MinCount: 2, ByCount: true, IncludeUnshared: true},
+	}
+	for trial := 0; trial < 40; trial++ {
+		g, sch, items, coll := randomUniverse(rng)
+		for _, baseOpts := range optsList {
+			want := Summarize(g, sch, items, baseOpts)
+			for _, n := range []int{1, 2, 4, 7} {
+				shards := coll.Partition(n, func(id uint32) int { return ids.Shard(id, n) })
+				for _, p := range []*par.Pool{nil, pool} {
+					opts := baseOpts
+					opts.Pool = p
+					got := SummarizeShards(ctx, g, sch, shards, opts)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d shards=%d pool=%v opts=%+v: sharded facets diverged\ngot:  %+v\nwant: %+v",
+							trial, n, p.Width(), baseOpts, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSummarizeShardsEmpty: an empty partition yields an empty table, like
+// Summarize over no items.
+func TestSummarizeShardsEmpty(t *testing.T) {
+	g := rdf.NewGraph()
+	sch := schema.NewStore(g)
+	shards := itemset.Set{}.Partition(4, func(id uint32) int { return ids.Shard(id, 4) })
+	if got := SummarizeShards(context.Background(), g, sch, shards, Options{}); len(got) != 0 {
+		t.Fatalf("empty partition produced %d facets", len(got))
+	}
+}

@@ -1,0 +1,34 @@
+package ids
+
+// Shard assignment for the scatter-gather serving path: the dense ID space
+// is partitioned into n shards by a bit-mixing hash of the ID itself.
+// Dense IDs are allocation-ordered, so sharding by `id % n` would put all
+// recently loaded items in the last shard; mixing first spreads any
+// contiguous ID range evenly across shards. The assignment is a pure
+// function of (id, n) — segment shard directories written by one process
+// are valid for any reader — and must never change: persisted per-shard
+// segment sets encode it on disk.
+
+// mix32 is the murmur3 fmix32 finalizer: a full-avalanche permutation of
+// uint32, so consecutive dense IDs land in unrelated shards.
+//
+//magnet:hot
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// Shard returns the shard in [0, n) that the dense ID belongs to. Every ID
+// maps to exactly one shard for a given n; n <= 1 always returns 0.
+//
+//magnet:hot
+func Shard(id uint32, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(mix32(id) % uint32(n))
+}

@@ -1,0 +1,56 @@
+package itemset
+
+// Partition splits the set into n disjoint subsets by the given shard
+// function, which must return a stable value in [0, n) for every member.
+// Members keep their relative order, so each part is itself a valid sorted
+// set backed by one contiguous allocation. Partition followed by
+// MergeDisjoint is the identity.
+func (s Set) Partition(n int, shard func(uint32) int) []Set {
+	if n < 1 {
+		n = 1
+	}
+	if n == 1 {
+		return []Set{s}
+	}
+	// Count-then-fill: one pass to size each part, one contiguous backing
+	// array carved into per-shard windows, one pass to place members.
+	counts := make([]int, n)
+	for _, id := range s.ids {
+		counts[shard(id)]++
+	}
+	backing := make([]uint32, len(s.ids))
+	parts := make([]Set, n)
+	offs := make([]int, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		parts[i] = Set{ids: backing[off : off : off+counts[i]]}
+		offs[i] = off
+		off += counts[i]
+	}
+	for _, id := range s.ids {
+		p := shard(id)
+		backing[offs[p]] = id
+		offs[p]++
+	}
+	for i := 0; i < n; i++ {
+		parts[i] = Set{ids: parts[i].ids[:counts[i]]}
+	}
+	return parts
+}
+
+// MergeDisjoint unions pairwise-disjoint parts (a partition, in any order)
+// back into one set by a binary merge fold. Parts that merely overlap are
+// also handled correctly — union deduplicates — but the name states the
+// intended contract: reassembling a Partition.
+func MergeDisjoint(parts []Set) Set {
+	switch len(parts) {
+	case 0:
+		return Set{}
+	case 1:
+		return parts[0]
+	}
+	// Binary fold keeps each element on O(log n) merge paths instead of
+	// O(n) for a left fold.
+	mid := len(parts) / 2
+	return MergeDisjoint(parts[:mid]).Union(MergeDisjoint(parts[mid:]))
+}

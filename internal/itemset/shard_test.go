@@ -1,0 +1,114 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+
+	"magnet/internal/ids"
+)
+
+func TestPartitionMergeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		raw := make([]uint32, rng.Intn(2000))
+		for i := range raw {
+			raw[i] = uint32(rng.Intn(100000))
+		}
+		s := FromUnsorted(raw)
+		for _, n := range []int{1, 2, 3, 7, 16} {
+			parts := s.Partition(n, func(id uint32) int { return ids.Shard(id, n) })
+			if len(parts) != n {
+				t.Fatalf("Partition(%d) returned %d parts", n, len(parts))
+			}
+			total := 0
+			seen := make(map[uint32]int)
+			for pi, p := range parts {
+				total += p.Len()
+				p.ForEach(func(id uint32) bool {
+					if ids.Shard(id, n) != pi {
+						t.Fatalf("id %d in part %d, Shard says %d", id, pi, ids.Shard(id, n))
+					}
+					seen[id]++
+					return true
+				})
+			}
+			if total != s.Len() {
+				t.Fatalf("n=%d: parts hold %d members, set has %d", n, total, s.Len())
+			}
+			for id, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d: id %d appears in %d parts", n, id, c)
+				}
+			}
+			if merged := MergeDisjoint(parts); !merged.Equal(s) {
+				t.Fatalf("n=%d: MergeDisjoint(Partition) != identity", n)
+			}
+		}
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	empty := Set{}
+	parts := empty.Partition(4, func(id uint32) int { return ids.Shard(id, 4) })
+	if len(parts) != 4 {
+		t.Fatalf("empty Partition(4) returned %d parts", len(parts))
+	}
+	for _, p := range parts {
+		if !p.IsEmpty() {
+			t.Fatalf("empty set produced non-empty part")
+		}
+	}
+	if !MergeDisjoint(nil).IsEmpty() {
+		t.Fatalf("MergeDisjoint(nil) not empty")
+	}
+	one := FromSorted([]uint32{7})
+	single := one.Partition(1, func(uint32) int { return 0 })
+	if len(single) != 1 || !single[0].Equal(one) {
+		t.Fatalf("Partition(1) must be the identity")
+	}
+}
+
+// FuzzShardPartition: partitioning any set at any shard count covers every
+// member exactly once — no ID lost, none duplicated, each in the shard the
+// hash assigns it — and merging restores the original set.
+func FuzzShardPartition(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, 4)
+	f.Add([]byte{}, 7)
+	f.Add([]byte{255, 0, 128, 128}, 1)
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n < 1 {
+			n = 1
+		}
+		if n > 64 {
+			n = n%64 + 1
+		}
+		members := make([]uint32, 0, len(raw))
+		for i, c := range raw {
+			members = append(members, uint32(c)+uint32(i%7)*256)
+		}
+		s := FromUnsorted(members)
+		parts := s.Partition(n, func(id uint32) int { return ids.Shard(id, n) })
+		if len(parts) != n {
+			t.Fatalf("Partition(%d) returned %d parts", n, len(parts))
+		}
+		total := 0
+		for pi, p := range parts {
+			total += p.Len()
+			p.ForEach(func(id uint32) bool {
+				if !s.Has(id) {
+					t.Fatalf("part %d invented id %d", pi, id)
+				}
+				if got := ids.Shard(id, n); got != pi {
+					t.Fatalf("id %d placed in part %d, Shard assigns %d", id, pi, got)
+				}
+				return true
+			})
+		}
+		if total != s.Len() {
+			t.Fatalf("parts hold %d members, set has %d", total, s.Len())
+		}
+		if !MergeDisjoint(parts).Equal(s) {
+			t.Fatalf("MergeDisjoint(Partition) != identity")
+		}
+	})
+}

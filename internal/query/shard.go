@@ -1,0 +1,119 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"magnet/internal/ids"
+	"magnet/internal/itemset"
+	"magnet/internal/obs"
+	"magnet/internal/par"
+)
+
+// Scatter-gather evaluation: the dense-ID space is partitioned into N
+// shards by ids.Shard, each shard evaluates the query against its own
+// slice of the universe on the par pool, and the per-shard results are
+// merged with the disjoint-set union. The merge is exact, not
+// approximate: for every predicate p, evaluating under the shard's
+// universe U_s = U ∩ space_s and then restricting to the shard's ID space
+// space_s = {id : ids.Shard(id, N) = s} yields E(p) ∩ space_s — leaves
+// never consult the universe, Not distributes because U_s ⊆ space_s, and
+// And/Or distribute over the restriction — so the union over shards is
+// byte-identical to the unsharded result at every shard count.
+//
+// Caveat for extension predicates: a custom Predicate that consults
+// e.Universe() must, like Not, only ever *intersect or subtract against*
+// it; one that projects members out of the universe (e.g. maps a universe
+// member to its author) would break the restriction identity and must not
+// be used on the sharded path.
+
+var (
+	evalShardedCount = obs.NewCounter("query.eval.sharded.count")
+	evalShardedNS    = obs.NewHistogram("query.eval.sharded.ns")
+)
+
+// Sharding is an immutable shard layout: the shard count and the universe
+// restricted to each shard. core.Magnet rebuilds it whenever the item
+// universe changes; it is safe for concurrent use once built.
+type Sharding struct {
+	// N is the shard count (>= 1).
+	N int
+	// Universes[s] is the queryable universe restricted to shard s.
+	Universes []itemset.Set
+}
+
+// BuildSharding partitions the universe into n shard universes by
+// ids.Shard. n <= 1 yields a single-shard layout (the serial oracle).
+func BuildSharding(n int, universe itemset.Set) *Sharding {
+	if n < 1 {
+		n = 1
+	}
+	return &Sharding{
+		N:         n,
+		Universes: universe.Partition(n, func(id uint32) int { return ids.Shard(id, n) }),
+	}
+}
+
+// restrictToShard filters an ID set down to the shard's slice of the dense
+// ID space. Order is preserved, so the result is still sorted.
+func restrictToShard(s itemset.Set, shard, n int) itemset.Set {
+	out := make([]uint32, 0, s.Len())
+	s.ForEach(func(id uint32) bool {
+		if ids.Shard(id, n) == shard {
+			out = append(out, id)
+		}
+		return true
+	})
+	return itemset.FromSorted(out)
+}
+
+// EvalShardedParts evaluates q shard-by-shard on the pool and returns both
+// the merged result (byte-identical to EvalContext) and its partition into
+// per-shard subsets, which downstream stages (facet summarization, advisor
+// scoring) reuse as their scatter layout. A panic inside a shard is
+// re-raised on the caller; on context cancellation the evaluation falls
+// back to the serial unsharded path so the result is never partial.
+func (e *Engine) EvalShardedParts(ctx context.Context, q Query, sh *Sharding, pool *par.Pool) (Set, []itemset.Set) {
+	ctx, sp := obs.StartSpan(ctx, "query.eval.sharded")
+	sp.SetInt("shards", sh.N)
+	start := time.Now()
+	parts := make([]itemset.Set, sh.N)
+	err := par.ForN(ctx, pool, sh.N, func(s int) {
+		// Shallow engine copy with the universe swapped for the shard's
+		// slice: predicate evaluation is read-only on the engine, so the
+		// copies share graph, schema and text index.
+		se := *e
+		u := sh.Universes[s]
+		se.universeIDs = func() itemset.Set { return u }
+		res := se.evalPred(ctx, And{Ps: q.Terms})
+		parts[s] = restrictToShard(res.IDs(), s, sh.N)
+	})
+	if err != nil {
+		var pe *par.PanicError
+		if errors.As(err, &pe) {
+			panic(pe)
+		}
+		// Context error: some shards never ran. Evaluate serially and
+		// partition the full result — exactly what the scatter would have
+		// produced — so callers always see a complete, consistent answer.
+		full := e.evalPred(ctx, And{Ps: q.Terms})
+		parts = full.IDs().Partition(sh.N, func(id uint32) int { return ids.Shard(id, sh.N) })
+	}
+	merged := e.setFromIDs(itemset.MergeDisjoint(parts))
+	evalShardedCount.Inc()
+	evalShardedNS.ObserveSince(start)
+	evalNS.ObserveSince(start)
+	evalCount.Inc()
+	evalResults.Observe(int64(merged.Len()))
+	sp.SetInt("results", merged.Len())
+	sp.End()
+	return merged, parts
+}
+
+// EvalShardedContext is EvalShardedParts without the partition — the
+// drop-in sharded counterpart of EvalContext.
+func (e *Engine) EvalShardedContext(ctx context.Context, q Query, sh *Sharding, pool *par.Pool) Set {
+	out, _ := e.EvalShardedParts(ctx, q, sh, pool)
+	return out
+}

@@ -1,0 +1,166 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"magnet/internal/ids"
+	"magnet/internal/index"
+	"magnet/internal/itemset"
+	"magnet/internal/par"
+	"magnet/internal/rdf"
+	"magnet/internal/schema"
+)
+
+// randomFixture builds a synthetic corpus of n items with random cuisines,
+// ingredients, servings and titles, plus a handful of non-item resources
+// so the interned ID space is wider than the universe (Property can match
+// subjects outside it, like the real graph).
+func randomFixture(n int, seed int64) (*Engine, itemset.Set) {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	sch := schema.NewStore(g)
+	tix := index.NewTextIndex(nil)
+	words := []string{"walnut", "feta", "bean", "salad", "mole", "dip", "stew", "pie"}
+	cuisines := []rdf.IRI{greek, mexican, rdf.IRI(ex + "Thai")}
+	var items []rdf.IRI
+	for i := 0; i < n; i++ {
+		it := rdf.IRI(fmt.Sprintf("%sitem%04d", ex, i))
+		items = append(items, it)
+		g.Add(it, rdf.Type, clsRecipe)
+		g.Add(it, pCuisine, cuisines[rng.Intn(len(cuisines))])
+		g.Add(it, pServings, rdf.NewInteger(int64(1+rng.Intn(12))))
+		title := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		g.Add(it, rdf.DCTitle, rdf.NewString(title))
+		for _, w := range words {
+			if rng.Intn(4) == 0 {
+				g.Add(it, pIngredient, rdf.IRI(ex+w))
+			}
+		}
+		tix.Index(string(it), "title", title)
+	}
+	// Non-item subjects sharing the item properties: posting lists now
+	// reach outside the universe, which the shard restriction must handle.
+	for i := 0; i < n/4; i++ {
+		out := rdf.IRI(fmt.Sprintf("%souter%04d", ex, i))
+		g.Add(out, pCuisine, cuisines[rng.Intn(len(cuisines))])
+		g.Add(out, pServings, rdf.NewInteger(int64(1+rng.Intn(12))))
+	}
+	e := NewEngine(g, sch, tix, func() []rdf.IRI { return items })
+	uni := e.NewSet(items...).IDs()
+	e.SetUniverseIDs(func() itemset.Set { return uni })
+	return e, uni
+}
+
+// randomQuery builds a random conjunction mixing every predicate kind.
+func randomQuery(rng *rand.Rand) Query {
+	words := []string{"walnut", "feta", "bean", "salad", "mole", "dip"}
+	leaf := func() Predicate {
+		switch rng.Intn(4) {
+		case 0:
+			return Property{Prop: pCuisine, Value: []rdf.IRI{greek, mexican, rdf.IRI(ex + "Thai")}[rng.Intn(3)]}
+		case 1:
+			return Property{Prop: pIngredient, Value: rdf.IRI(ex + words[rng.Intn(len(words))])}
+		case 2:
+			lo, hi := float64(1+rng.Intn(6)), float64(6+rng.Intn(7))
+			return Between(pServings, lo, hi)
+		default:
+			return Keyword{Text: words[rng.Intn(len(words))]}
+		}
+	}
+	term := func() Predicate {
+		switch rng.Intn(4) {
+		case 0:
+			return Not{P: leaf()}
+		case 1:
+			return Or{Ps: []Predicate{leaf(), leaf()}}
+		case 2:
+			return And{Ps: []Predicate{leaf(), Not{P: leaf()}}}
+		default:
+			return leaf()
+		}
+	}
+	q := NewQuery()
+	for i, n := 0, rng.Intn(3); i <= n; i++ {
+		q = q.With(term())
+	}
+	return q
+}
+
+// TestEvalShardedEquivalence: the merged scatter-gather result is
+// byte-identical to the unsharded evaluation for random queries at every
+// shard count, serial and pooled, and the returned parts are exactly the
+// hash partition of the result.
+func TestEvalShardedEquivalence(t *testing.T) {
+	e, uni := randomFixture(400, 7)
+	pool := par.New(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(99))
+	ctx := context.Background()
+	for trial := 0; trial < 60; trial++ {
+		q := randomQuery(rng)
+		want := e.EvalContext(ctx, q).Items()
+		for _, n := range []int{1, 2, 4, 7} {
+			sh := BuildSharding(n, uni)
+			for _, p := range []*par.Pool{nil, pool} {
+				got, parts := e.EvalShardedParts(ctx, q, sh, p)
+				if !reflect.DeepEqual(got.Items(), want) {
+					t.Fatalf("trial %d shards=%d pool=%v: sharded result diverged\nquery: %s\ngot:  %v\nwant: %v",
+						trial, n, p.Width(), q.Key(), got.Items(), want)
+				}
+				if len(parts) != n {
+					t.Fatalf("shards=%d: got %d parts", n, len(parts))
+				}
+				for s, part := range parts {
+					part.ForEach(func(id uint32) bool {
+						if ids.Shard(id, n) != s {
+							t.Fatalf("part %d holds id %d, Shard assigns %d", s, id, ids.Shard(id, n))
+						}
+						return true
+					})
+				}
+				if merged := itemset.MergeDisjoint(parts); !merged.Equal(got.IDs()) {
+					t.Fatalf("shards=%d: parts do not reassemble the merged result", n)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalShardedEmptyAndUniverse covers the edge queries: the empty
+// conjunction (yields the universe) and an unsatisfiable one.
+func TestEvalShardedEmptyAndUniverse(t *testing.T) {
+	e, uni := randomFixture(100, 3)
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 4, 7} {
+		sh := BuildSharding(n, uni)
+		got := e.EvalShardedContext(ctx, NewQuery(), sh, nil)
+		if !got.IDs().Equal(uni) {
+			t.Fatalf("shards=%d: empty query must yield the universe", n)
+		}
+		none := e.EvalShardedContext(ctx, NewQuery(Property{Prop: pCuisine, Value: rdf.IRI(ex + "Nope")}), sh, nil)
+		if !none.IsEmpty() {
+			t.Fatalf("shards=%d: unsatisfiable query returned %d items", n, none.Len())
+		}
+	}
+}
+
+// TestEvalShardedCancelledContext: a cancelled context must still return
+// the complete result via the serial fallback.
+func TestEvalShardedCancelledContext(t *testing.T) {
+	e, uni := randomFixture(100, 5)
+	pool := par.New(4)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := NewQuery(Property{Prop: pCuisine, Value: greek})
+	want := e.EvalContext(context.Background(), q).Items()
+	sh := BuildSharding(4, uni)
+	got := e.EvalShardedContext(ctx, q, sh, pool)
+	if !reflect.DeepEqual(got.Items(), want) {
+		t.Fatalf("cancelled-context fallback diverged: got %v want %v", got.Items(), want)
+	}
+}

@@ -1,0 +1,132 @@
+// Shard equivalence: the promise of scatter-gather serving is that sharding
+// is invisible — a Magnet serving with Options.Shards = n (or opened from an
+// n-way shard layout on disk) renders byte-identical output to the unsharded
+// instance at every shard count. These tests replay the magnet-eval
+// scenarios across shards ∈ {1, 2, 4, 7} for the in-memory and the
+// segment-backed backings, mirroring segment_equiv_test.go.
+package magnet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"magnet/internal/core"
+	"magnet/internal/dataload"
+	"magnet/internal/datasets/recipes"
+	"magnet/internal/query"
+)
+
+var shardCounts = []int{1, 2, 4, 7}
+
+// shardQueries are the rendered scenarios: the Figure 1 refined pane, the
+// Figure 2 whole-collection overview, and a keyword+negation mix that
+// exercises text scoring and Not under sharded evaluation.
+func shardQueries() map[string]query.Query {
+	return map[string]query.Query{
+		"fig1": query.NewQuery(
+			query.TypeIs(recipes.ClassRecipe),
+			query.Property{Prop: recipes.PropCuisine, Value: recipes.Cuisine("Greek")},
+			query.Property{Prop: recipes.PropIngredient, Value: recipes.Ingredient("Parsley")},
+		),
+		"fig2": query.NewQuery(query.TypeIs(recipes.ClassRecipe)),
+		"negation": query.NewQuery(
+			query.Keyword{Text: "chicken"},
+			query.Not{P: query.Property{
+				Prop:  recipes.PropIngredient,
+				Value: recipes.Ingredient("Walnuts"),
+			}},
+		),
+	}
+}
+
+func TestShardEquivalenceInMemory(t *testing.T) {
+	spec := dataload.Spec{Dataset: "recipes", Recipes: 200, Seed: 1}
+	g, allSubjects, err := dataload.Load(spec)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	mem := core.Open(g, core.Options{IndexAllSubjects: allSubjects})
+	t.Cleanup(mem.Close)
+
+	for name, q := range shardQueries() {
+		want := renderScenario(mem, q)
+		for _, n := range shardCounts {
+			sharded := core.Open(g, core.Options{IndexAllSubjects: allSubjects, Shards: n})
+			got := renderScenario(sharded, q)
+			sharded.Close()
+			if got != want {
+				t.Errorf("%s shards=%d: sharded render differs from unsharded\n%s",
+					name, n, firstDiff(want, got))
+			}
+		}
+	}
+}
+
+func TestShardEquivalenceSegments(t *testing.T) {
+	spec := dataload.Spec{Dataset: "recipes", Recipes: 200, Seed: 1}
+	mem, _ := openBoth(t, spec)
+
+	for name, q := range shardQueries() {
+		want := renderScenario(mem, q)
+		for _, n := range shardCounts {
+			dir := t.TempDir()
+			if _, err := mem.WriteSegmentShards(dir, spec.Name(), spec.Params(), n); err != nil {
+				t.Fatalf("WriteSegmentShards n=%d: %v", n, err)
+			}
+			sharded, err := core.OpenSegmentShards(dir, core.Options{})
+			if err != nil {
+				t.Fatalf("OpenSegmentShards n=%d: %v", n, err)
+			}
+			if got := sharded.Shards(); n > 1 && got != n {
+				t.Errorf("Shards() = %d, want %d", got, n)
+			}
+			got := renderScenario(sharded, q)
+			sharded.Close()
+			if got != want {
+				t.Errorf("%s shards=%d: shard-layout render differs from in-memory\n%s",
+					name, n, firstDiff(want, got))
+			}
+		}
+	}
+}
+
+// TestShardLayoutRoundTrip checks the shard layout's manifests partition
+// the item universe exactly: reassembled item count equals the source.
+func TestShardLayoutRoundTrip(t *testing.T) {
+	spec := dataload.Spec{Dataset: "recipes", Recipes: 120, Seed: 3}
+	g, allSubjects, err := dataload.Load(spec)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	mem := core.Open(g, core.Options{IndexAllSubjects: allSubjects})
+	t.Cleanup(mem.Close)
+
+	dir := filepath.Join(t.TempDir(), "layout")
+	const n = 4
+	mans, err := mem.WriteSegmentShards(dir, spec.Name(), spec.Params(), n)
+	if err != nil {
+		t.Fatalf("WriteSegmentShards: %v", err)
+	}
+	if len(mans) != n {
+		t.Fatalf("wrote %d manifests, want %d", len(mans), n)
+	}
+	total := 0
+	for i, man := range mans {
+		if man.Shard != i || man.Shards != n {
+			t.Errorf("manifest %d claims shard %d of %d", i, man.Shard, man.Shards)
+		}
+		total += man.Items
+	}
+	if total != mem.NumItems() {
+		t.Errorf("shard item counts sum to %d, want %d", total, mem.NumItems())
+	}
+
+	sh, err := core.OpenSegmentShards(dir, core.Options{})
+	if err != nil {
+		t.Fatalf("OpenSegmentShards: %v", err)
+	}
+	defer sh.Close()
+	if sh.NumItems() != mem.NumItems() {
+		t.Errorf("NumItems: layout=%d mem=%d", sh.NumItems(), mem.NumItems())
+	}
+}
