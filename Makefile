@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet magnet-vet vet-budget fuzz race-par obs-check bench-json bench-parallel segments segments-check load-check check
+.PHONY: build test race vet magnet-vet vet-budget fuzz race-par obs-check bench-json bench-parallel segments segments-check load-check plan-check check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) ./internal/segment/
 	$(GO) test -run='^$$' -fuzz=FuzzShard -fuzztime=$(FUZZTIME) ./internal/ids/
 	$(GO) test -run='^$$' -fuzz=FuzzShardPartition -fuzztime=$(FUZZTIME) ./internal/itemset/
+	$(GO) test -run='^$$' -fuzz=FuzzPlanEquivalence -fuzztime=$(FUZZTIME) ./internal/plan/
 
 # Focused race pass over the parallel pipeline: the internal/par pool
 # stress tests and every serial-vs-parallel equivalence/determinism test.
@@ -127,4 +128,17 @@ load-check:
 		echo "magnet-load exceeded its $(LOADBUDGET)s budget" >&2; exit 1; \
 	fi
 
-check: build vet vet-budget test race race-par obs-check fuzz segments-check load-check bench-json
+# Planner gate: the planned-vs-naive byte-identity suite (every backing and
+# shard count, plus the fuzz corpus replayed as unit cases and the shared
+# delta-cache race test), then a magnet-load smoke run that fails unless
+# the navigation-delta cache actually absorbs the session's refine steps —
+# a planner that silently stops caching would still be byte-identical, so
+# the hit-rate gate is what catches it.
+plan-check:
+	$(GO) test -race ./internal/plan/
+	$(GO) test -race -run 'Plan|Within|KeysCache' ./internal/query/ ./internal/core/ .
+	@$(GO) build -o /tmp/magnet-plan-check ./cmd/magnet-load
+	@/tmp/magnet-plan-check -recipes 400 -sessions 40 -concurrency 8 -out "" -min-plan-hit-rate 0.5
+	@/tmp/magnet-plan-check -recipes 400 -sessions 40 -concurrency 8 -shards 4 -out "" -min-plan-hit-rate 0.5
+
+check: build vet vet-budget test race race-par obs-check fuzz segments-check load-check plan-check bench-json

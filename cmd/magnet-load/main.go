@@ -52,6 +52,7 @@ func main() {
 	sessions := flag.Int("sessions", 200, "number of simulated-user sessions to replay")
 	concurrency := flag.Int("concurrency", 0, "sessions in flight at once (0 = all of them)")
 	out := flag.String("out", "", "benchmark snapshot to merge results into (default BENCH_<date>.json; empty with an explicit -out= skips the write)")
+	minPlanHitRate := flag.Float64("min-plan-hit-rate", -1, "fail unless the planner's delta-cache hit rate (hits+deltas over lookups) reaches this fraction; negative disables the gate")
 	outSet := false
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
@@ -61,7 +62,7 @@ func main() {
 	})
 
 	if err := run(*dataset, *nRecipes, *seed, *segments, *shards, *parallelism,
-		*sessions, *concurrency, *out, outSet); err != nil {
+		*sessions, *concurrency, *out, outSet, *minPlanHitRate); err != nil {
 		fmt.Fprintf(os.Stderr, "magnet-load: %v\n", err)
 		os.Exit(1)
 	}
@@ -102,7 +103,38 @@ type step struct {
 	delta  obs.HistSnapshot
 }
 
-func run(dataset string, nRecipes int, seed int64, segments string, shards, parallelism, sessions, concurrency int, out string, outSet bool) error {
+// planCounters snapshots the planner's delta-cache counters so the report
+// covers only this run, mirroring the histogram snapshots for steps.
+type planCounters struct {
+	hit, miss, delta uint64
+}
+
+func snapshotPlanCounters() planCounters {
+	return planCounters{
+		hit:   obs.Default.Counter("plan.cache.hit").Value(),
+		miss:  obs.Default.Counter("plan.cache.miss").Value(),
+		delta: obs.Default.Counter("plan.cache.delta").Value(),
+	}
+}
+
+// sub returns the per-run deltas against an earlier snapshot.
+func (pc planCounters) sub(before planCounters) planCounters {
+	return planCounters{hit: pc.hit - before.hit, miss: pc.miss - before.miss, delta: pc.delta - before.delta}
+}
+
+// hitRate is the fraction of cache lookups resolved without a from-scratch
+// evaluation: exact hits plus parent deltas over all lookups. Note misses
+// count every non-hit lookup, including the ones a delta then resolves, so
+// lookups = hit + miss and deltas are a subset of misses.
+func (pc planCounters) hitRate() float64 {
+	lookups := pc.hit + pc.miss
+	if lookups == 0 {
+		return 0
+	}
+	return float64(pc.hit+pc.delta) / float64(lookups)
+}
+
+func run(dataset string, nRecipes int, seed int64, segments string, shards, parallelism, sessions, concurrency int, out string, outSet bool, minPlanHitRate float64) error {
 	if sessions < 1 {
 		return fmt.Errorf("-sessions must be >= 1")
 	}
@@ -135,6 +167,7 @@ func run(dataset string, nRecipes int, seed int64, segments string, shards, para
 	for _, st := range steps {
 		st.before = st.hist.Snapshot()
 	}
+	planBefore := snapshotPlanCounters()
 
 	// Replay: an atomic cursor hands out session indices; `concurrency`
 	// workers run them, every session a fresh core.Session against the one
@@ -178,6 +211,15 @@ func run(dataset string, nRecipes int, seed int64, segments string, shards, para
 		fmt.Printf("  %-8s count=%-6d p50=%-10s p99=%s\n", st.name, st.delta.Count,
 			time.Duration(st.delta.Quantile(0.5)), time.Duration(st.delta.Quantile(0.99)))
 	}
+	plan := snapshotPlanCounters().sub(planBefore)
+	planRate := plan.hitRate()
+	if plan.hit+plan.miss > 0 {
+		fmt.Printf("  plan.cache hit-rate=%.1f%% (hits=%d deltas=%d misses=%d lookups=%d)\n",
+			planRate*100, plan.hit, plan.delta, plan.miss-plan.delta, plan.hit+plan.miss)
+	}
+	if minPlanHitRate >= 0 && planRate < minPlanHitRate {
+		return fmt.Errorf("plan-cache hit rate %.3f below required %.3f", planRate, minPlanHitRate)
+	}
 
 	if outSet && out == "" {
 		return nil
@@ -195,19 +237,22 @@ func run(dataset string, nRecipes int, seed int64, segments string, shards, para
 		Procs:      runtime.GOMAXPROCS(0),
 		Iterations: int64(sessions),
 		Metrics: map[string]float64{
-			"steps/s":         qps,
-			"p50-step-ns":     float64(combined.Quantile(0.5)),
-			"p99-step-ns":     float64(combined.Quantile(0.99)),
-			"p50-query-ns":    float64(steps[0].delta.Quantile(0.5)),
-			"p99-query-ns":    float64(steps[0].delta.Quantile(0.99)),
-			"p50-pane-ns":     float64(steps[1].delta.Quantile(0.5)),
-			"p99-pane-ns":     float64(steps[1].delta.Quantile(0.99)),
-			"p50-overview-ns": float64(steps[2].delta.Quantile(0.5)),
-			"p99-overview-ns": float64(steps[2].delta.Quantile(0.99)),
-			"steps":           float64(combined.Count),
-			"shards":          float64(effectiveShards(m, shards)),
-			"gomaxprocs":      float64(runtime.GOMAXPROCS(0)),
-			"wall-s":          wall.Seconds(),
+			"steps/s":           qps,
+			"p50-step-ns":       float64(combined.Quantile(0.5)),
+			"p99-step-ns":       float64(combined.Quantile(0.99)),
+			"p50-query-ns":      float64(steps[0].delta.Quantile(0.5)),
+			"p99-query-ns":      float64(steps[0].delta.Quantile(0.99)),
+			"p50-pane-ns":       float64(steps[1].delta.Quantile(0.5)),
+			"p99-pane-ns":       float64(steps[1].delta.Quantile(0.99)),
+			"p50-overview-ns":   float64(steps[2].delta.Quantile(0.5)),
+			"p99-overview-ns":   float64(steps[2].delta.Quantile(0.99)),
+			"steps":             float64(combined.Count),
+			"plan-hit-rate":     planRate,
+			"plan-cache-hits":   float64(plan.hit),
+			"plan-cache-deltas": float64(plan.delta),
+			"shards":            float64(effectiveShards(m, shards)),
+			"gomaxprocs":        float64(runtime.GOMAXPROCS(0)),
+			"wall-s":            wall.Seconds(),
 		},
 	}
 	doc.Merge(entry)

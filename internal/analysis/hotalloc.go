@@ -94,6 +94,54 @@ func checkHotFunc(mp *ModulePass, n *FuncNode, reach *Reach) {
 		}
 		return true
 	})
+	if HasDirective(n.Decl.Doc, HotDirective) {
+		checkHotLoops(pkg, n.Decl.Body, report)
+	}
+}
+
+// checkHotLoops flags dynamically dispatched (interface-method) calls
+// inside the loops of a *directly annotated* hot function. One dynamic
+// dispatch per step is survivable; one per loop iteration multiplies by
+// the posting length — and when the callee allocates (a Key() that
+// builds its string), the per-element allocation storm is invisible to
+// the boxing checks because the dispatch target never resolves
+// statically. Query.With re-deriving p.Key() against every existing term
+// was the motivating case: derive once, then loop over the cached
+// results. The rule stays scoped to seeds rather than transitive callees
+// because hoisting is the *caller's* local discipline — a callee cannot
+// know which of its calls sit inside someone else's loop.
+func checkHotLoops(pkg *Package, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch l := node.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		default:
+			return true
+		}
+		ast.Inspect(loopBody, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pkg.Info.Selections[sel]
+			if !ok || s.Kind() != types.MethodVal || !types.IsInterface(s.Recv()) {
+				return true
+			}
+			report(call.Pos(), "interface method %s.%s called inside a loop dispatches dynamically every iteration; hoist or cache it outside the loop",
+				typeName(pkg, s.Recv()), sel.Sel.Name)
+			return true
+		})
+		// The nested Inspect already covered inner loops; stop the outer
+		// walk here so each call reports once.
+		return false
+	})
 }
 
 // checkHotCall inspects one call expression in a hot body: allocating

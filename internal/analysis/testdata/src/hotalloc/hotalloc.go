@@ -108,6 +108,57 @@ func OkBox(p *int) {
 
 func sink(v interface{}) { _ = v }
 
+// keyer stands in for query.Predicate: an interface whose Key() builds a
+// string per call.
+type keyer interface{ Key() string }
+
+// BadLoopDispatch re-derives k.Key() against every element — the
+// per-refine allocation storm Query.With used to hide (the dispatch
+// never resolves statically, so only the loop rule sees it).
+//
+//magnet:hot
+func BadLoopDispatch(keys []string, k keyer) int {
+	for i, s := range keys {
+		if s == k.Key() { // want "called inside a loop dispatches dynamically"
+			return i
+		}
+	}
+	return -1
+}
+
+// OkHoistedDispatch derives the key once and loops over plain strings.
+//
+//magnet:hot
+func OkHoistedDispatch(keys []string, k keyer) int {
+	kk := k.Key()
+	for i, s := range keys {
+		if s == kk {
+			return i
+		}
+	}
+	return -1
+}
+
+// TransitiveLoopDispatch is *reached* from a seed but not annotated
+// itself: the loop rule is scoped to direct seeds (hoisting is the
+// caller's local discipline), so this body is not flagged for dispatch —
+// only direct allocations would be.
+func transitiveLoopDispatch(keys []string, k keyer) bool {
+	for _, s := range keys {
+		if s == k.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+// SeedCallingTransitive seeds reachability into transitiveLoopDispatch.
+//
+//magnet:hot
+func SeedCallingTransitive(keys []string, k keyer) bool {
+	return transitiveLoopDispatch(keys, k)
+}
+
 // Cold allocates freely: it is not reachable from any hot seed.
 func Cold(xs []uint32) map[uint32]bool {
 	out := make(map[uint32]bool, len(xs))

@@ -18,6 +18,7 @@ import (
 	"magnet/internal/itemset"
 	"magnet/internal/obs"
 	"magnet/internal/par"
+	"magnet/internal/plan"
 	"magnet/internal/query"
 	"magnet/internal/rdf"
 	"magnet/internal/schema"
@@ -80,6 +81,14 @@ type Options struct {
 	// merge. Output is byte-identical to unsharded serving at any shard
 	// count (shard_equiv_test.go); 0 or 1 serves unsharded.
 	Shards int
+	// PlanCache sizes the per-shard navigation-delta cache behind the
+	// cost-based query planner (internal/plan): cached result sets keyed
+	// by the canonical query key, invalidated whenever the graph or the
+	// item universe changes. 0 means plan.DefaultCacheSize entries per
+	// shard; a negative value disables planning and caching entirely,
+	// restoring the naive evaluation path (output is byte-identical
+	// either way — the planner only changes evaluation order and reuse).
+	PlanCache int
 }
 
 // Magnet is an instance of the navigation system over one repository.
@@ -101,6 +110,10 @@ type Magnet struct {
 	// universe partitioned per shard. Rebuilt whenever itemIDs changes and
 	// read by every session step; nil serves unsharded.
 	sharding *query.Sharding
+	// planner is the cost-based conjunction planner and navigation-delta
+	// cache every session step's query evaluation routes through; nil
+	// when Options.PlanCache is negative (the naive path).
+	planner *plan.Planner
 
 	// set is the backing segment set when the instance was opened with
 	// OpenSegments; nil for in-memory instances. readOnly guards the
@@ -143,17 +156,27 @@ func OpenContext(ctx context.Context, g *rdf.Graph, opts Options) *Magnet {
 	return m
 }
 
-// buildEngine (re)creates the query engine over the current indexes.
+// buildEngine (re)creates the query engine over the current indexes, plus
+// the planner and its delta caches (fresh caches: a rebuilt engine means
+// rebuilt indexes, so nothing cached remains valid).
 func (m *Magnet) buildEngine() {
 	m.eng = query.NewEngine(m.g, m.sch, m.text, m.itemsSlice)
-	m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
 	m.reshard()
+	shards := 1
+	if m.sharding != nil {
+		shards = m.sharding.N
+	}
+	m.planner = plan.New(shards, m.opts.PlanCache)
 }
 
 // reshard rebuilds the scatter-gather layout from the current item
-// universe. Called wherever itemIDs changes (open, reindex, incremental
-// index/remove); a no-op for unsharded instances.
+// universe and re-installs the engine's universe source. Called wherever
+// itemIDs changes (open, reindex, incremental index/remove); the
+// re-installation bumps the engine's universe epoch, which is what
+// invalidates the planner's delta caches on universe changes that leave
+// the graph untouched (RemoveItem, text-only reindexing).
 func (m *Magnet) reshard() {
+	m.eng.SetUniverseIDs(func() itemset.Set { return m.itemIDs })
 	if m.opts.Shards > 1 {
 		m.sharding = query.BuildSharding(m.opts.Shards, m.itemIDs)
 	} else {
@@ -163,11 +186,18 @@ func (m *Magnet) reshard() {
 
 // evalQuery evaluates q through the instance's configured serving path:
 // scatter-gather over the shard layout when Options.Shards > 1, the plain
-// instrumented evaluation otherwise. The second return is the result's
-// per-shard partition (nil when unsharded) for downstream stages to reuse.
+// instrumented evaluation otherwise, each routed through the planner when
+// enabled. The second return is the result's per-shard partition (nil
+// when unsharded) for downstream stages to reuse.
 func (m *Magnet) evalQuery(ctx context.Context, q query.Query) (query.Set, []itemset.Set) {
 	if sh := m.sharding; sh != nil {
+		if m.planner != nil {
+			return m.planner.EvalShardedParts(ctx, m.eng, q, sh, m.pool)
+		}
 		return m.eng.EvalShardedParts(ctx, q, sh, m.pool)
+	}
+	if m.planner != nil {
+		return m.planner.EvalContext(ctx, m.eng, q), nil
 	}
 	return m.eng.EvalContext(ctx, q), nil
 }

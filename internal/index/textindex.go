@@ -278,6 +278,26 @@ func (ix *TextIndex) DocFreq(term string) int {
 	return len(ix.df[terms[0]])
 }
 
+// TermDocFreq returns the number of documents containing one
+// already-analyzed (stemmed) term in any field — the raw-term counterpart
+// of DocFreq, for callers that hold stems rather than surface text
+// (TermMatch predicates, the plan package's cardinality estimator).
+func (ix *TextIndex) TermDocFreq(term string) int {
+	if term == "" {
+		return 0
+	}
+	if ix.seg != nil {
+		ti, ok := ix.seg.findTerm(term)
+		if !ok {
+			return 0
+		}
+		return len(ix.seg.dfRow(ti))
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.df[term])
+}
+
 // Surface returns the most common raw (pre-stemming) token behind an
 // analyzed term, for display; falls back to the term itself when unknown.
 func (ix *TextIndex) Surface(term string) string {

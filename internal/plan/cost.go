@@ -1,0 +1,157 @@
+package plan
+
+import (
+	"strings"
+
+	"magnet/internal/query"
+)
+
+// The cost model: every estimate comes from statistics the indexes
+// already maintain for free — posting-list lengths in the graph's reverse
+// index (O(1) map reads), document frequencies in the text index, and the
+// schema store's memoized numeric-column spans — so estimation never
+// touches a posting's members. Estimates are upper-bound-ish result
+// cardinalities, used only to order conjuncts (cheapest first); a wrong
+// estimate costs time, never correctness, because every evaluation order
+// of a conjunction produces the same set.
+
+// estimator derives cardinality estimates against one engine. The zero
+// value is unusable; build with newEstimator per planning decision (the
+// universe size is read once).
+type estimator struct {
+	e *query.Engine
+	// universe is |U|: the ceiling for every estimate and the fallback
+	// for predicate kinds without statistics (custom extensions), which
+	// therefore sort last and are driven candidate-first.
+	universe int
+}
+
+func newEstimator(e *query.Engine) estimator {
+	return estimator{e: e, universe: e.Universe().Len()}
+}
+
+// estimate returns the predicted result cardinality of p, clamped to
+// [0, universe+1]. (The +1 headroom keeps "no statistics" strictly more
+// expensive than "matches everything we measured".)
+func (est estimator) estimate(p query.Predicate) int {
+	if n := est.raw(p); n < est.universe+1 {
+		return n
+	}
+	return est.universe + 1
+}
+
+func (est estimator) raw(p query.Predicate) int {
+	switch t := p.(type) {
+	case query.Property:
+		return est.e.Graph().SubjectCount(t.Prop, t.Value)
+	case query.PathProperty:
+		// The final path segment's posting bounds the backward chase's
+		// first frontier; widening across earlier segments is possible
+		// but rare in navigation data, so the seed is the estimate.
+		if len(t.Path) == 0 {
+			return 0
+		}
+		return est.e.Graph().SubjectCount(t.Path[len(t.Path)-1], t.Value)
+	case query.Keyword:
+		return est.keywordEstimate(t)
+	case query.TermMatch:
+		ix := est.e.TextIndex()
+		if ix == nil {
+			return 0
+		}
+		return ix.TermDocFreq(t.Term)
+	case query.Range:
+		return est.rangeEstimate(t)
+	case query.Not:
+		n := est.universe - est.estimate(t.P)
+		if n < 0 {
+			return 0
+		}
+		return n
+	case query.And:
+		// A conjunction is at most its cheapest conjunct.
+		if len(t.Ps) == 0 {
+			return est.universe
+		}
+		min := est.estimate(t.Ps[0])
+		for _, q := range t.Ps[1:] {
+			if n := est.estimate(q); n < min {
+				min = n
+			}
+		}
+		return min
+	case query.Or:
+		sum := 0
+		for _, q := range t.Ps {
+			sum += est.estimate(q)
+		}
+		return sum
+	case query.AnyValueIn:
+		sum := 0
+		for _, v := range t.Values {
+			sum += est.e.Graph().SubjectCount(t.Prop, v)
+		}
+		return sum
+	case query.AllValuesIn:
+		// Bounded by its AnyValueIn candidate stage.
+		return est.estimate(query.AnyValueIn{Prop: t.Prop, Values: t.Values})
+	default:
+		// Custom predicate: no statistics. Estimate past the universe so
+		// it sorts last and is evaluated within the surviving candidates.
+		return est.universe + 1
+	}
+}
+
+// keywordEstimate bounds a conjunctive keyword match by its rarest word's
+// document frequency. Words the analyzer drops (stopwords, multi-token
+// expansions) carry no signal and are skipped; a keyword with no
+// analyzable words at all matches nothing.
+func (est estimator) keywordEstimate(k query.Keyword) int {
+	ix := est.e.TextIndex()
+	if ix == nil {
+		return 0
+	}
+	min := -1
+	for _, w := range strings.Fields(k.Text) {
+		terms := ix.Analyzer().Terms(w)
+		if len(terms) != 1 {
+			continue
+		}
+		if df := ix.TermDocFreq(terms[0]); min < 0 || df < min {
+			min = df
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// rangeEstimate scales the property's numeric posting mass by the
+// fraction of its value span the range covers — a uniform-distribution
+// assumption, which is exactly as good as free statistics get.
+func (est estimator) rangeEstimate(r query.Range) int {
+	sp := est.e.Schema().NumericSpan(r.Prop)
+	if sp.Postings == 0 {
+		return 0
+	}
+	lo, hi := sp.Min, sp.Max
+	if r.Min != nil && *r.Min > lo {
+		lo = *r.Min
+	}
+	if r.Max != nil && *r.Max < hi {
+		hi = *r.Max
+	}
+	if lo > hi {
+		return 0
+	}
+	width := sp.Max - sp.Min
+	if width <= 0 {
+		return sp.Postings
+	}
+	n := int((hi - lo) / width * float64(sp.Postings))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -94,7 +94,9 @@ func (e *Engine) evalPred(ctx context.Context, p Predicate) Set {
 	var out Set
 	switch t := p.(type) {
 	case And:
-		out = evalAnd(e, t.Ps, func(q Predicate) Set { return e.evalPred(ctx, q) })
+		out = evalAnd(e, t.Ps,
+			func(q Predicate) Set { return e.evalPred(ctx, q) },
+			func(n Not, acc Set) Set { return e.evalNotWithin(ctx, n, acc) })
 	case Or:
 		out = evalOr(t.Ps, func(q Predicate) Set { return e.evalPred(ctx, q) })
 	case Not:
@@ -108,4 +110,26 @@ func (e *Engine) evalPred(ctx context.Context, p Predicate) Set {
 	sp.SetInt("results", out.Len())
 	sp.End()
 	return out
+}
+
+// evalNotWithin is evalAnd's lazy negation under instrumentation: the
+// same pred.not counters and span as the eval path, but subtracting from
+// the conjunction's accumulated result instead of the whole universe.
+func (e *Engine) evalNotWithin(ctx context.Context, n Not, acc Set) Set {
+	ctx, sp := obs.StartSpan(ctx, "pred.not")
+	start := time.Now()
+	out := acc.Intersect(e.Universe()).Minus(e.evalPred(ctx, n.P))
+	in := predInstruments["not"]
+	in.count.Inc()
+	in.ns.ObserveSince(start)
+	sp.SetInt("results", out.Len())
+	sp.End()
+	return out
+}
+
+// EvalPredContext evaluates one predicate on the instrumented path — the
+// per-kind pred.* counters and the span tree — for orchestrators outside
+// this package (the plan package's per-term evaluation).
+func (e *Engine) EvalPredContext(ctx context.Context, p Predicate) Set {
+	return e.evalPred(ctx, p)
 }

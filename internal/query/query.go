@@ -160,6 +160,11 @@ type Engine struct {
 	// universeIDs, when set, supplies the universe directly on the ID
 	// plane, skipping the IRI round-trip (core.Magnet maintains it).
 	universeIDs func() itemset.Set
+	// epoch counts universe installations. Owners re-install the universe
+	// source whenever its *content* changes (core.Magnet does so on every
+	// reshard), so caches keyed on (graph version, epoch) — the plan
+	// package's delta cache — invalidate exactly when results could move.
+	epoch uint64
 }
 
 // NewEngine returns an engine. text may be nil (keyword predicates then
@@ -169,8 +174,39 @@ func NewEngine(g *rdf.Graph, sch *schema.Store, text *index.TextIndex, universe 
 }
 
 // SetUniverseIDs installs a dense-ID universe source; when present it takes
-// precedence over the IRI-level universe function.
-func (e *Engine) SetUniverseIDs(f func() itemset.Set) { e.universeIDs = f }
+// precedence over the IRI-level universe function. Each installation bumps
+// the engine's universe epoch (see UniverseEpoch).
+func (e *Engine) SetUniverseIDs(f func() itemset.Set) {
+	e.universeIDs = f
+	e.epoch++
+}
+
+// UniverseEpoch returns the universe-installation counter. Together with
+// the graph's Version it forms the validity stamp for caches of query
+// results: a cached set is reusable while both are unchanged.
+func (e *Engine) UniverseEpoch() uint64 { return e.epoch }
+
+// WithUniverse returns a shallow copy of the engine whose universe is the
+// given dense-ID set; the copy shares graph, schema and text index.
+// Sharded planning evaluates each shard under its own universe slice this
+// way, mirroring EvalShardedParts' per-shard engine copies.
+func (e *Engine) WithUniverse(u itemset.Set) *Engine {
+	se := *e
+	se.universeIDs = func() itemset.Set { return u }
+	return &se
+}
+
+// FromIDs wraps a dense-ID itemset from the engine's ID space as a Set
+// without copying — the exported counterpart of setFromIDs for layers
+// (the plan package) that orchestrate evaluation from outside.
+func (e *Engine) FromIDs(s itemset.Set) Set { return e.setFromIDs(s) }
+
+// Rebase expresses s on the engine's dense-ID plane, re-interning when s
+// came from a different interner (the engine-less NewSet path); sets
+// already in the engine's space pass through unchanged.
+func (e *Engine) Rebase(s Set) itemset.Set {
+	return Set{in: e.g.Interner()}.rebase(s)
+}
 
 // Graph exposes the engine's graph to custom predicates.
 func (e *Engine) Graph() *rdf.Graph { return e.g }
@@ -474,14 +510,22 @@ type And struct {
 
 // Eval implements Predicate.
 func (a And) Eval(e *Engine) Set {
-	return evalAnd(e, a.Ps, func(p Predicate) Set { return p.Eval(e) })
+	return evalAnd(e, a.Ps,
+		func(p Predicate) Set { return p.Eval(e) },
+		func(n Not, acc Set) Set {
+			return acc.Intersect(e.Universe()).Minus(n.P.Eval(e))
+		})
 }
 
 // evalAnd is the conjunction loop shared by And.Eval and the
 // instrumented Engine.EvalContext path: empty conjunctions yield the
 // universe, and evaluation short-circuits on the first empty
-// intersection. eval maps one term to its result set.
-func evalAnd(e *Engine, ps []Predicate, eval func(Predicate) Set) Set {
+// intersection. eval maps one term to its result set; evalNot applies a
+// negated term to the accumulated result *lazily* — (acc ∩ U) \ E equals
+// acc ∩ (U \ E), so the full universe complement that Not.Eval would
+// materialize is never built on the conjunction path. A leading Not still
+// takes the eval path (there is no accumulator to subtract from yet).
+func evalAnd(e *Engine, ps []Predicate, eval func(Predicate) Set, evalNot func(Not, Set) Set) Set {
 	if len(ps) == 0 {
 		return e.Universe()
 	}
@@ -489,6 +533,10 @@ func evalAnd(e *Engine, ps []Predicate, eval func(Predicate) Set) Set {
 	for _, p := range ps[1:] {
 		if out.IsEmpty() {
 			return out
+		}
+		if n, ok := p.(Not); ok {
+			out = evalNot(n, out)
+			continue
 		}
 		out = out.Intersect(eval(p))
 	}
@@ -551,25 +599,67 @@ func joinKeys(op string, ps []Predicate) string {
 // makes the Refinement History advisor's undo trivial.
 type Query struct {
 	Terms []Predicate
+	// keys caches Terms' Key() strings, index-aligned. Predicate keys are
+	// rebuilt from scratch on every With/Key call otherwise — an avoidable
+	// per-refine allocation storm, since predicates are immutable values.
+	// Maintained by NewQuery/With/Without/Negate; literal-constructed
+	// queries (Query{Terms: ...}) simply have no cache and re-derive.
+	keys []string
 }
 
 // NewQuery builds a query from constraint terms.
 func NewQuery(terms ...Predicate) Query {
-	return Query{Terms: terms}
+	return Query{Terms: terms, keys: termKeys(terms)}
+}
+
+// termKeys derives the per-term key cache.
+func termKeys(terms []Predicate) []string {
+	keys := make([]string, len(terms))
+	for i, t := range terms {
+		keys[i] = t.Key()
+	}
+	return keys
+}
+
+// TermKeys returns each term's Key(), index-aligned with Terms — cached
+// when the query was built through the package's constructors, re-derived
+// otherwise. Callers must not mutate the returned slice.
+func (q Query) TermKeys() []string {
+	if len(q.keys) == len(q.Terms) {
+		return q.keys
+	}
+	return termKeys(q.Terms)
+}
+
+// indexOfKey scans a small key slice for an exact match. Split out so the
+// refine-step duplicate check stays allocation- and interface-call-free
+// (the predicate's Key is derived once by the caller, not per iteration).
+//
+//magnet:hot
+func indexOfKey(keys []string, k string) int {
+	for i, s := range keys {
+		if s == k {
+			return i
+		}
+	}
+	return -1
 }
 
 // With returns the query extended by p (ignored if an identical constraint
 // is already present).
 func (q Query) With(p Predicate) Query {
-	for _, t := range q.Terms {
-		if t.Key() == p.Key() {
-			return q
-		}
+	pk := p.Key()
+	keys := q.TermKeys()
+	if indexOfKey(keys, pk) >= 0 {
+		return q
 	}
 	terms := make([]Predicate, len(q.Terms)+1)
 	copy(terms, q.Terms)
 	terms[len(q.Terms)] = p
-	return Query{Terms: terms}
+	nk := make([]string, len(keys)+1)
+	copy(nk, keys)
+	nk[len(keys)] = pk
+	return Query{Terms: terms, keys: nk}
 }
 
 // Without returns the query with the i-th constraint removed (the '✕' of
@@ -581,7 +671,11 @@ func (q Query) Without(i int) Query {
 	terms := make([]Predicate, 0, len(q.Terms)-1)
 	terms = append(terms, q.Terms[:i]...)
 	terms = append(terms, q.Terms[i+1:]...)
-	return Query{Terms: terms}
+	keys := q.TermKeys()
+	nk := make([]string, 0, len(keys)-1)
+	nk = append(nk, keys[:i]...)
+	nk = append(nk, keys[i+1:]...)
+	return Query{Terms: terms, keys: nk}
 }
 
 // Negate returns the query with the i-th constraint inverted (the
@@ -597,7 +691,10 @@ func (q Query) Negate(i int) Query {
 	} else {
 		terms[i] = Not{P: terms[i]}
 	}
-	return Query{Terms: terms}
+	nk := make([]string, len(terms))
+	copy(nk, q.TermKeys())
+	nk[i] = terms[i].Key()
+	return Query{Terms: terms, keys: nk}
 }
 
 // IsEmpty reports whether the query has no constraints.
@@ -619,7 +716,18 @@ func (q Query) Describe(l Labeler) []string {
 
 // Key canonically identifies the query (term order is irrelevant for
 // conjunctions).
-func (q Query) Key() string { return joinKeys("query", q.Terms) }
+func (q Query) Key() string { return KeyForTermKeys(q.TermKeys()) }
+
+// KeyForTermKeys builds the canonical query key — identical to
+// Query.Key() — from per-term Key() strings, without re-deriving them
+// from predicates. The plan package probes delta-cache parents with it
+// (the query minus one term). The input slice is not modified.
+func KeyForTermKeys(keys []string) string {
+	parts := make([]string, len(keys))
+	copy(parts, keys)
+	sort.Strings(parts)
+	return "query:{" + strings.Join(parts, ",") + "}"
+}
 
 // Evaluate runs q through the instrumented path and returns the result
 // as a sorted item slice.

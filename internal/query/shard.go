@@ -55,6 +55,14 @@ func BuildSharding(n int, universe itemset.Set) *Sharding {
 	}
 }
 
+// RestrictToShard filters an ID set down to shard `shard` of an n-way
+// layout — the restriction the scatter-gather merge identity is built on.
+// Exported for the plan package, whose sharded path stores per-shard
+// restricted results in its per-shard caches.
+func RestrictToShard(s itemset.Set, shard, n int) itemset.Set {
+	return restrictToShard(s, shard, n)
+}
+
 // restrictToShard filters an ID set down to the shard's slice of the dense
 // ID space. Order is preserved, so the result is still sorted.
 func restrictToShard(s itemset.Set, shard, n int) itemset.Set {

@@ -262,6 +262,30 @@ func (g *Graph) Objects(s, p IRI) []Term {
 	return out
 }
 
+// ForEachObject calls f for every object of triples (s, p, ·) until f
+// returns false, without materializing the sorted value slice that
+// Objects allocates. Iteration order is unspecified (callers needing
+// determinism use Objects); it exists for order-insensitive per-item
+// probes — the query engine's candidate-first Range checks. f runs with
+// the graph read-locked and must not call back into mutating methods.
+func (g *Graph) ForEachObject(s, p IRI, f func(Term) bool) {
+	if g.seg != nil {
+		for _, o := range g.seg.objects(g, s, p) {
+			if !f(o) {
+				return
+			}
+		}
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, o := range g.spo[s][p] {
+		if !f(o) {
+			return
+		}
+	}
+}
+
 // Object returns one object of (s, p, ·) — the least by key — and whether
 // any exists. Useful for functional properties such as labels.
 func (g *Graph) Object(s, p IRI) (Term, bool) {

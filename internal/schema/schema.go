@@ -14,6 +14,7 @@ package schema
 import (
 	"sync"
 
+	"magnet/internal/itemset"
 	"magnet/internal/rdf"
 )
 
@@ -97,12 +98,27 @@ type Store struct {
 
 	mu       sync.Mutex
 	inferred map[rdf.IRI]ValueType
+	spans    map[rdf.IRI]NumericSpan
 	version  uint64
 }
 
 // NewStore returns an annotation store over g.
 func NewStore(g *rdf.Graph) *Store {
-	return &Store{g: g, inferred: make(map[rdf.IRI]ValueType)}
+	return &Store{
+		g:        g,
+		inferred: make(map[rdf.IRI]ValueType),
+		spans:    make(map[rdf.IRI]NumericSpan),
+	}
+}
+
+// refreshLocked drops the memoized inference and span tables when the
+// graph has changed since they were built. Callers hold s.mu.
+func (s *Store) refreshLocked() {
+	if v := s.g.Version(); v != s.version {
+		s.inferred = make(map[rdf.IRI]ValueType)
+		s.spans = make(map[rdf.IRI]NumericSpan)
+		s.version = v
+	}
 }
 
 // Graph returns the underlying graph.
@@ -156,10 +172,7 @@ func (s *Store) ValueType(p rdf.IRI) ValueType {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if v := s.g.Version(); v != s.version {
-		s.inferred = make(map[rdf.IRI]ValueType)
-		s.version = v
-	}
+	s.refreshLocked()
 	if vt, ok := s.inferred[p]; ok {
 		return vt
 	}
@@ -320,6 +333,62 @@ func (s *Store) TreeShaped() bool {
 	}
 	b, _ := l.Bool()
 	return b
+}
+
+// NumericSpan summarizes a property's numeric value domain for cost
+// estimation: the [Min, Max] span of parseable numeric literal values and
+// the total posting mass (summed posting-list length over those values —
+// the number of item/value pairs a range over the whole span would
+// touch). The zero span (Postings == 0) means the property has no numeric
+// values.
+type NumericSpan struct {
+	Min, Max float64
+	Postings int
+}
+
+// NumericSpan returns p's numeric-domain summary, computed by one
+// value-domain walk and memoized against the graph version like value
+// type inference (the walk is O(distinct values), too costly to repeat
+// per query-planning step).
+func (s *Store) NumericSpan(p rdf.IRI) NumericSpan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	if sp, ok := s.spans[p]; ok {
+		return sp
+	}
+	sp := s.computeSpanLocked(p)
+	s.spans[p] = sp
+	return sp
+}
+
+func (s *Store) computeSpanLocked(p rdf.IRI) NumericSpan {
+	var sp NumericSpan
+	first := true
+	s.g.ForEachValuePosting(p, func(o rdf.Term, subjects itemset.Set) bool {
+		lit, ok := o.(rdf.Literal)
+		if !ok {
+			return true
+		}
+		f, ok := lit.Float()
+		if !ok {
+			return true
+		}
+		if first {
+			sp.Min, sp.Max = f, f
+			first = false
+		} else {
+			if f < sp.Min {
+				sp.Min = f
+			}
+			if f > sp.Max {
+				sp.Max = f
+			}
+		}
+		sp.Postings += subjects.Len()
+		return true
+	})
+	return sp
 }
 
 // NumericProperties returns every property whose effective value type is
